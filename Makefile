@@ -1,0 +1,32 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-paper figures examples lint clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-verbose:
+	$(PYTHON) -m pytest tests/ -v
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-paper:
+	REPRO_BENCH_FIDELITY=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+figures:
+	$(PYTHON) -m repro.cli experiment fig6 --ci
+	$(PYTHON) -m repro.cli experiment fig7 --ci
+	$(PYTHON) -m repro.cli experiment fig8 --ci
+
+examples:
+	@for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex; echo; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

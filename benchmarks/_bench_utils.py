@@ -1,0 +1,17 @@
+"""Helpers shared by the benchmark modules.
+
+Lives in its own module (not conftest.py) so that `import` works even when
+tests/ and benchmarks/ are collected in the same pytest invocation.
+"""
+
+from __future__ import annotations
+
+
+def record_tables(benchmark, tables) -> None:
+    """Print each table and stash its records in the benchmark metadata."""
+    records = []
+    for _d, table in sorted(tables.items()):
+        print()
+        print(table.render(ci=False))
+        records.extend(table.to_records())
+    benchmark.extra_info["series"] = records

@@ -1,0 +1,70 @@
+"""Ablation (extension): border effects in the paper's environment.
+
+The paper's confined 100×100 square truncates transmission disks at the
+border, so the analytic range calibration undershoots the *measured* mean
+degree; a torus topology has no borders and hits the target exactly.  This
+bench quantifies the deviation and its knock-on effect on the figures'
+primary metric (CDS size) — the main reason absolute numbers of any
+reproduction can differ from the paper's by a few percent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backbone.static_backbone import build_static_backbone
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.graph.generators import random_geometric_network
+from repro.graph.properties import degree_stats
+
+SCENARIOS = [(60, 6.0), (60, 18.0), (100, 18.0)]
+
+
+def measure():
+    rng = np.random.default_rng(6)
+    rows = []
+    for n, d in SCENARIOS:
+        deg = {"plane": [], "torus": []}
+        cds = {"plane": [], "torus": []}
+        for _ in range(12):
+            for label, torus in (("plane", False), ("torus", True)):
+                net = random_geometric_network(n, d, rng=rng, torus=torus)
+                deg[label].append(degree_stats(net.graph).mean)
+                cds[label].append(
+                    build_static_backbone(
+                        lowest_id_clustering(net.graph)
+                    ).size
+                )
+        rows.append((
+            n, d,
+            {k: float(np.mean(v)) for k, v in deg.items()},
+            {k: float(np.mean(v)) for k, v in cds.items()},
+        ))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-border")
+def test_border_effects(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(f"{'n':>4} {'d':>4} | {'deg plane':>10} {'deg torus':>10} | "
+          f"{'CDS plane':>10} {'CDS torus':>10}")
+    for n, d, deg, cds in rows:
+        print(f"{n:>4} {d:>4g} | {deg['plane']:>10.2f} {deg['torus']:>10.2f}"
+              f" | {cds['plane']:>10.1f} {cds['torus']:>10.1f}")
+        # Torus calibration is exact; connectivity conditioning can push the
+        # measured mean slightly above the target in sparse settings.
+        assert deg["torus"] == pytest.approx(d, rel=0.08)
+        # Border truncation depresses the planar degree below the torus one.
+        assert deg["plane"] < deg["torus"]
+        # Measured finding — two border effects pull the CDS size in
+        # opposite directions and which wins depends on (n, d):
+        # * the torus's exact (higher) degree means fewer clusters
+        #   (shrinks the CDS — dominates at n=60, d=18: 15.9 vs 20.0);
+        # * the torus's smaller diameter packs more coverage targets into
+        #   every head's 3-hop ball, inflating gateway selections (grows
+        #   the CDS — dominates at d=6 and again at n=100, d=18).
+        # The robust conclusion for reproducers: absolute CDS sizes carry
+        # an O(10-25%) environment-geometry uncertainty; the *comparisons*
+        # between algorithms (Figures 6-8) are unaffected because all
+        # algorithms share each sample.
+        assert cds["plane"] == pytest.approx(cds["torus"], rel=0.30)

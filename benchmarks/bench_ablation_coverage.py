@@ -1,0 +1,68 @@
+"""Ablation: 2.5-hop vs 3-hop coverage sets.
+
+The paper's closing argument: "the algorithm with the 2.5-hop coverage set
+has comparable performance to the one with the 3-hop coverage set while it
+reduces maintenance cost."  This bench quantifies both halves:
+
+* backbone sizes under the two policies (comparable — within a few %);
+* maintenance cost — coverage-set state and CH_HOP2 message volume (the
+  3-hop exchange carries strictly more entries).
+"""
+
+import pytest
+
+from repro.backbone.static_backbone import build_static_backbone
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.coverage.policy import compute_all_coverage_sets
+from repro.graph.generators import random_geometric_network
+from repro.protocols.runner import run_distributed_build
+from repro.types import CoveragePolicy
+
+SCENARIOS = [(40, 6.0), (80, 6.0), (40, 18.0), (80, 18.0)]
+
+
+def measure():
+    rows = []
+    for n, d in SCENARIOS:
+        sizes = {p: [] for p in CoveragePolicy}
+        state = {p: [] for p in CoveragePolicy}
+        volume = {p: [] for p in CoveragePolicy}
+        for seed in range(8):
+            net = random_geometric_network(n, d, rng=seed * 1000 + n)
+            cs = lowest_id_clustering(net.graph)
+            for policy in CoveragePolicy:
+                covs = compute_all_coverage_sets(cs, policy)
+                sizes[policy].append(
+                    build_static_backbone(cs, policy, covs).size
+                )
+                state[policy].append(
+                    sum(c.maintenance_cost() for c in covs.values())
+                )
+                build = run_distributed_build(net.graph, policy,
+                                              include_gateway_phase=False)
+                volume[policy].append(build.total_volume)
+        rows.append((n, d, sizes, state, volume))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-coverage")
+def test_coverage_policy_ablation(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(f"{'n':>4} {'d':>4} | {'size 2.5':>9} {'size 3':>9} | "
+          f"{'state 2.5':>9} {'state 3':>9} | {'vol 2.5':>9} {'vol 3':>9}")
+    for n, d, sizes, state, volume in rows:
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        s25 = mean(sizes[CoveragePolicy.TWO_FIVE_HOP])
+        s3 = mean(sizes[CoveragePolicy.THREE_HOP])
+        st25 = mean(state[CoveragePolicy.TWO_FIVE_HOP])
+        st3 = mean(state[CoveragePolicy.THREE_HOP])
+        v25 = mean(volume[CoveragePolicy.TWO_FIVE_HOP])
+        v3 = mean(volume[CoveragePolicy.THREE_HOP])
+        print(f"{n:>4} {d:>4g} | {s25:>9.2f} {s3:>9.2f} | "
+              f"{st25:>9.1f} {st3:>9.1f} | {v25:>9.1f} {v3:>9.1f}")
+        # Comparable backbone sizes (paper: <2%; allow 10% at 8 samples).
+        assert s25 == pytest.approx(s3, rel=0.10)
+        # Strictly cheaper maintenance for 2.5-hop.
+        assert st25 <= st3
+        assert v25 <= v3

@@ -1,0 +1,54 @@
+"""Ablation: the broadcast-storm baseline and a non-cluster SD-CDS.
+
+Places the paper's backbones between blind flooding (the storm the backbone
+exists to prevent) and dominant pruning (a classic neighbour-knowledge
+SD-CDS, our extension baseline).
+"""
+
+import pytest
+
+from repro.backbone.static_backbone import build_static_backbone
+from repro.broadcast.dominant_pruning import broadcast_dominant_pruning
+from repro.broadcast.flooding import blind_flooding
+from repro.broadcast.sd_cds import broadcast_sd
+from repro.broadcast.si_cds import broadcast_si
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.graph.generators import random_geometric_network
+
+SCENARIOS = [(60, 6.0), (60, 18.0)]
+
+
+def measure():
+    rows = []
+    for n, d in SCENARIOS:
+        sums = {"flooding": 0.0, "static": 0.0, "dynamic": 0.0, "dp": 0.0}
+        trials = 10
+        for seed in range(trials):
+            net = random_geometric_network(n, d, rng=seed * 13 + n)
+            cs = lowest_id_clustering(net.graph)
+            source = net.graph.nodes()[seed % n]
+            static = build_static_backbone(cs)
+            sums["flooding"] += blind_flooding(net.graph, source).num_forward_nodes
+            sums["static"] += broadcast_si(net.graph, static, source).num_forward_nodes
+            sums["dynamic"] += broadcast_sd(cs, source).result.num_forward_nodes
+            sums["dp"] += broadcast_dominant_pruning(net.graph, source).num_forward_nodes
+        rows.append((n, d, {k: v / trials for k, v in sums.items()}))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-flooding")
+def test_flooding_comparison(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(f"{'n':>4} {'d':>4} | {'flooding':>9} {'static':>8} "
+          f"{'dynamic':>8} {'dom-prune':>10}")
+    for n, d, mean in rows:
+        print(f"{n:>4} {d:>4g} | {mean['flooding']:>9.1f} "
+              f"{mean['static']:>8.1f} {mean['dynamic']:>8.1f} "
+              f"{mean['dp']:>10.1f}")
+        assert mean["flooding"] == pytest.approx(n)  # everyone forwards
+        assert mean["dynamic"] <= mean["static"] + 0.25
+        assert mean["static"] < mean["flooding"]
+        # Dense networks: backbones remove most of the storm.
+        if d >= 18:
+            assert mean["dynamic"] < 0.5 * mean["flooding"]

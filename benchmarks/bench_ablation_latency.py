@@ -1,0 +1,74 @@
+"""Ablation (extension): the latency price of forwarding restrictions.
+
+The paper evaluates forward-node counts only; restricting forwarding to a
+backbone can also lengthen delivery paths.  This bench measures broadcast
+latency stretch (achieved latency over the source's eccentricity, the BFS
+optimum that blind flooding attains) and the reception redundancy each
+scheme leaves on the channel — the two sides of the efficiency trade.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.latency import latency_stretch
+from repro.analysis.redundancy import redundancy_report
+from repro.backbone.static_backbone import build_static_backbone
+from repro.broadcast.flooding import blind_flooding
+from repro.broadcast.sd_cds import broadcast_sd
+from repro.broadcast.si_cds import broadcast_si
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.graph.generators import random_geometric_network
+
+SCENARIOS = [(60, 6.0), (60, 18.0)]
+
+
+def measure():
+    rng = np.random.default_rng(99)
+    rows = []
+    for n, d in SCENARIOS:
+        stretch = {"flooding": [], "static": [], "dynamic": []}
+        copies = {"flooding": [], "static": [], "dynamic": []}
+        for seed in range(12):
+            net = random_geometric_network(n, d, rng=rng)
+            cs = lowest_id_clustering(net.graph)
+            source = int(rng.choice(net.graph.nodes()))
+            static = build_static_backbone(cs)
+            results = {
+                "flooding": blind_flooding(net.graph, source),
+                "static": broadcast_si(net.graph, static, source),
+                "dynamic": broadcast_sd(cs, source).result,
+            }
+            for label, result in results.items():
+                stretch[label].append(latency_stretch(net.graph, result))
+                copies[label].append(
+                    redundancy_report(net.graph, result).mean_copies
+                )
+        rows.append((
+            n, d,
+            {k: float(np.mean(v)) for k, v in stretch.items()},
+            {k: float(np.mean(v)) for k, v in copies.items()},
+        ))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-latency")
+def test_latency_and_redundancy(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(f"{'n':>4} {'d':>4} | {'stretch fl/st/dy':>22} | "
+          f"{'copies/host fl/st/dy':>24}")
+    for n, d, stretch, copies in rows:
+        print(f"{n:>4} {d:>4g} | "
+              f"{stretch['flooding']:>6.2f} {stretch['static']:>6.2f} "
+              f"{stretch['dynamic']:>6.2f} | "
+              f"{copies['flooding']:>7.1f} {copies['static']:>7.1f} "
+              f"{copies['dynamic']:>7.1f}")
+        # Flooding is latency-optimal by construction.
+        assert stretch["flooding"] == pytest.approx(1.0)
+        # The backbones pay a small, bounded latency premium...
+        assert stretch["static"] <= 2.0
+        assert stretch["dynamic"] <= 2.5
+        # ...and buy a large redundancy reduction, biggest when dense.
+        assert copies["dynamic"] < copies["flooding"]
+        if d >= 18:
+            assert copies["dynamic"] < 0.6 * copies["flooding"]

@@ -1,0 +1,52 @@
+"""Ablation: how much each piggyback pruning level saves (SD-CDS).
+
+The paper's dynamic backbone piggybacks the sender's coverage set and
+forward set (``BASIC``) plus the relay-neighbour information (``FULL``, the
+``N(r)`` rule).  This bench isolates each level's contribution to the
+forward-node count.
+"""
+
+import pytest
+
+from repro.broadcast.sd_cds import broadcast_sd
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.graph.generators import random_geometric_network
+from repro.types import CoveragePolicy, PruningLevel
+
+SCENARIOS = [(60, 6.0), (60, 18.0), (100, 18.0)]
+
+
+def measure():
+    rows = []
+    for n, d in SCENARIOS:
+        counts = {level: [] for level in PruningLevel}
+        for seed in range(10):
+            net = random_geometric_network(n, d, rng=seed * 77 + n)
+            cs = lowest_id_clustering(net.graph)
+            source = net.graph.nodes()[seed % n]
+            for level in PruningLevel:
+                dyn = broadcast_sd(cs, source,
+                                   policy=CoveragePolicy.TWO_FIVE_HOP,
+                                   pruning=level)
+                assert dyn.result.delivered_to_all(net.graph)
+                counts[level].append(dyn.result.num_forward_nodes)
+        rows.append((n, d, counts))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-pruning")
+def test_pruning_level_ablation(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(f"{'n':>4} {'d':>4} | {'none':>7} {'basic':>7} {'full':>7}")
+    for n, d, counts in rows:
+        mean = {lvl: sum(v) / len(v) for lvl, v in counts.items()}
+        print(f"{n:>4} {d:>4g} | {mean[PruningLevel.NONE]:>7.2f} "
+              f"{mean[PruningLevel.BASIC]:>7.2f} "
+              f"{mean[PruningLevel.FULL]:>7.2f}")
+        # Each added level of history can only help on average.
+        assert mean[PruningLevel.FULL] <= mean[PruningLevel.BASIC] + 0.25
+        assert mean[PruningLevel.BASIC] <= mean[PruningLevel.NONE] + 0.25
+        # In dense networks the pruning must show a real win.
+        if d >= 18:
+            assert mean[PruningLevel.FULL] < mean[PruningLevel.NONE]

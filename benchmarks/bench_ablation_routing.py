@@ -1,0 +1,39 @@
+"""Ablation (extension): unicast route stretch over the backbone.
+
+If the cluster backbone is to serve as general infrastructure (the CBRP
+use case the paper's related work describes), unicast routes confined to
+it must not detour much.  This bench measures route stretch against true
+shortest paths across densities.
+"""
+
+import pytest
+
+from repro.routing.stretch import route_stretch_study
+
+SCENARIOS = [(60, 6.0), (60, 12.0), (60, 18.0)]
+
+
+@pytest.mark.benchmark(group="ablation-routing")
+def test_route_stretch(benchmark):
+    def measure():
+        return [
+            (d, route_stretch_study(
+                n=n, average_degree=d, networks=6, pairs_per_network=15,
+                rng=int(d * 100),
+            ))
+            for n, d in SCENARIOS
+        ]
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(f"{'d':>4} | {'mean stretch':>13} {'max stretch':>12} "
+          f"{'backbone frac':>14}")
+    for d, report in rows:
+        print(f"{d:>4g} | {report.mean_stretch:>13.2f} "
+              f"{report.max_stretch:>12.2f} "
+              f"{report.mean_backbone_fraction:>14.2f}")
+        # Routes ride the backbone exclusively...
+        assert report.mean_backbone_fraction == 1.0
+        # ...at a small detour cost.
+        assert report.mean_stretch < 1.7
+        assert report.max_stretch < 4.0

@@ -1,0 +1,79 @@
+"""Ablation (extension): the SD-protocol zoo around the dynamic backbone.
+
+Places the paper's dynamic backbone among the source-dependent schemes its
+related-work section cites: multipoint relay, dominant pruning, the
+Pagani–Rossi forwarding tree, coverage-based RAD back-off, and passive
+clustering.  Forward-node counts AND delivery ratios are reported — passive
+clustering's partial delivery is part of the story.
+"""
+
+import numpy as np
+import pytest
+
+from repro.broadcast.dominant_pruning import broadcast_dominant_pruning
+from repro.broadcast.forwarding_tree import broadcast_forwarding_tree
+from repro.broadcast.mpr import broadcast_mpr
+from repro.broadcast.passive_clustering import broadcast_passive_clustering
+from repro.broadcast.rad import broadcast_rad
+from repro.broadcast.sd_cds import broadcast_sd
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.graph.generators import random_geometric_network
+
+SCENARIOS = [(60, 6.0), (60, 18.0)]
+PROTOCOLS = ("dynamic", "mpr", "dominant-pruning", "forwarding-tree",
+             "rad", "passive")
+
+
+def measure():
+    rng = np.random.default_rng(777)
+    rows = []
+    for n, d in SCENARIOS:
+        fw = {p: [] for p in PROTOCOLS}
+        deliv = {p: [] for p in PROTOCOLS}
+        for seed in range(12):
+            net = random_geometric_network(n, d, rng=rng)
+            cs = lowest_id_clustering(net.graph)
+            source = int(rng.choice(net.graph.nodes()))
+
+            def record(p, result):
+                fw[p].append(result.num_forward_nodes)
+                deliv[p].append(len(result.received) / n)
+
+            record("dynamic", broadcast_sd(cs, source).result)
+            record("mpr", broadcast_mpr(net.graph, source))
+            record("dominant-pruning",
+                   broadcast_dominant_pruning(net.graph, source))
+            record("forwarding-tree",
+                   broadcast_forwarding_tree(cs, source)[0])
+            record("rad", broadcast_rad(net.graph, source, rng=rng).result)
+            record("passive", broadcast_passive_clustering(
+                net.graph, source, rng=rng).result)
+        rows.append((n, d,
+                     {p: float(np.mean(v)) for p, v in fw.items()},
+                     {p: float(np.mean(v)) for p, v in deliv.items()}))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-sd-protocols")
+def test_sd_protocol_zoo(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    header = f"{'n':>4} {'d':>4} " + "".join(f"{p:>17}" for p in PROTOCOLS)
+    print(header + "   (forwards | delivery)")
+    for n, d, fw, deliv in rows:
+        cells = "".join(
+            f"{fw[p]:>9.1f}|{deliv[p]:>6.2f} " for p in PROTOCOLS
+        )
+        print(f"{n:>4} {d:>4g} {cells}")
+        # Every guaranteed protocol must actually deliver fully.
+        for p in ("dynamic", "mpr", "dominant-pruning", "forwarding-tree",
+                  "rad"):
+            assert deliv[p] == pytest.approx(1.0), p
+        # The cluster-based dynamic backbone stays competitive: within 2x of
+        # the best guaranteed-delivery SD protocol on every scenario.
+        guaranteed = [fw[p] for p in ("mpr", "dominant-pruning",
+                                      "forwarding-tree", "rad")]
+        assert fw["dynamic"] <= 2.0 * min(guaranteed)
+        # Passive clustering pays for its savings with delivery (paper).
+        if d <= 6:
+            assert deliv["passive"] < 1.0

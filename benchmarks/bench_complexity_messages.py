@@ -1,0 +1,84 @@
+"""Message- and time-complexity benches (paper, Section 4 analysis).
+
+Checks, with measured message counts from the distributed protocols:
+
+* total construction messages grow **linearly** in n (the message-optimal
+  claim) — asserted via the R² of a linear fit over a size sweep;
+* construction rounds on random geometric networks stay well below the
+  chain worst case;
+* the dynamic backbone's construction (no GATEWAY phase) costs fewer
+  messages than the static one.
+"""
+
+import pytest
+
+from repro.graph.generators import chain_graph, random_geometric_network
+from repro.metrics.stats import linear_fit
+from repro.protocols.runner import run_distributed_build
+from repro.types import CoveragePolicy
+
+NS = (10, 20, 40, 60, 80, 120)
+
+
+def sweep_messages(policy: CoveragePolicy, include_gateway: bool):
+    """Total construction messages for each n in the sweep."""
+    out = []
+    for n in NS:
+        net = random_geometric_network(n, 8.0, rng=1000 + n)
+        build = run_distributed_build(
+            net.graph, policy, include_gateway_phase=include_gateway
+        )
+        out.append(build.total_messages)
+    return out
+
+
+@pytest.mark.benchmark(group="complexity")
+def test_message_complexity_linear(benchmark):
+    msgs = benchmark.pedantic(
+        sweep_messages, args=(CoveragePolicy.TWO_FIVE_HOP, True),
+        rounds=1, iterations=1,
+    )
+    slope, intercept, r2 = linear_fit(list(NS), msgs)
+    print(f"\nconstruction messages vs n: {dict(zip(NS, msgs))}")
+    print(f"linear fit: messages ~ {slope:.2f} n + {intercept:.1f} (R^2={r2:.4f})")
+    benchmark.extra_info["messages"] = dict(zip(NS, msgs))
+    benchmark.extra_info["slope"] = slope
+    benchmark.extra_info["r_squared"] = r2
+    assert r2 > 0.98, "construction message count is not linear in n"
+    assert slope < 6.0, "more than ~6 messages per node"
+
+
+@pytest.mark.benchmark(group="complexity")
+def test_dynamic_construction_cheaper(benchmark):
+    def both():
+        static = sweep_messages(CoveragePolicy.TWO_FIVE_HOP, True)
+        dynamic = sweep_messages(CoveragePolicy.TWO_FIVE_HOP, False)
+        return static, dynamic
+
+    static, dynamic = benchmark.pedantic(both, rounds=1, iterations=1)
+    print(f"\nstatic  construction messages: {dict(zip(NS, static))}")
+    print(f"dynamic construction messages: {dict(zip(NS, dynamic))}")
+    for s, d in zip(static, dynamic):
+        assert d < s
+
+
+@pytest.mark.benchmark(group="complexity")
+def test_chain_worst_case_rounds(benchmark):
+    """The paper's Θ(n)-round clustering worst case, measured."""
+
+    def chain_rounds():
+        out = []
+        for n in (20, 40, 80):
+            build = run_distributed_build(chain_graph(n))
+            out.append((n, build.phases[1].duration))
+        return out
+
+    rounds = benchmark.pedantic(chain_rounds, rounds=1, iterations=1)
+    print(f"\nchain clustering rounds: {rounds}")
+    for n, duration in rounds:
+        assert n / 2 - 1 <= duration <= n + 2
+
+    # Random geometric networks finish far faster than the worst case.
+    net = random_geometric_network(80, 8.0, rng=42)
+    build = run_distributed_build(net.graph)
+    assert build.phases[1].duration < 40

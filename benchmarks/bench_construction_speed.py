@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Not a paper figure — these guard the implementation's own performance
+(the experiment harness runs tens of thousands of constructions per full
+figure, so regressions here multiply).
+"""
+
+import pytest
+
+from repro.backbone.static_backbone import build_static_backbone
+from repro.broadcast.sd_cds import broadcast_sd
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.coverage.policy import compute_all_coverage_sets
+from repro.geometry.placement import uniform_placement
+from repro.graph.build import unit_disk_graph
+from repro.graph.generators import random_geometric_network
+from repro.types import CoveragePolicy
+
+
+@pytest.fixture(scope="module")
+def net100():
+    return random_geometric_network(100, 18.0, rng=5)
+
+
+@pytest.fixture(scope="module")
+def clustering100(net100):
+    return lowest_id_clustering(net100.graph)
+
+
+@pytest.mark.benchmark(group="speed")
+def test_speed_unit_disk_graph(benchmark):
+    pts = uniform_placement(300, rng=0)
+    graph = benchmark(unit_disk_graph, pts, 12.0)
+    assert graph.num_nodes == 300
+
+
+@pytest.mark.benchmark(group="speed")
+def test_speed_lowest_id_clustering(benchmark, net100):
+    cs = benchmark(lowest_id_clustering, net100.graph)
+    assert cs.num_clusters >= 1
+
+
+@pytest.mark.benchmark(group="speed")
+def test_speed_coverage_sets(benchmark, clustering100):
+    covs = benchmark(compute_all_coverage_sets, clustering100,
+                     CoveragePolicy.TWO_FIVE_HOP)
+    assert len(covs) == clustering100.num_clusters
+
+
+@pytest.mark.benchmark(group="speed")
+def test_speed_static_backbone(benchmark, clustering100):
+    bb = benchmark(build_static_backbone, clustering100)
+    assert bb.size >= clustering100.num_clusters
+
+
+@pytest.mark.benchmark(group="speed")
+def test_speed_dynamic_broadcast(benchmark, clustering100):
+    covs = compute_all_coverage_sets(clustering100)
+    dyn = benchmark(broadcast_sd, clustering100, 0, coverage_sets=covs)
+    assert dyn.result.delivered_to_all(clustering100.graph)

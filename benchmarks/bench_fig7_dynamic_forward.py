@@ -1,0 +1,35 @@
+"""Figure 7: average forward-node-set size — dynamic backbone vs MO_CDS.
+
+Paper claim reproduced here: "The dynamic backbone algorithm shows much
+better performance than the MO_CDS", with the advantage growing in the
+dense (d=18) configuration.
+"""
+
+import pytest
+
+from repro.workload.experiments import DYNAMIC_25, DYNAMIC_3, MO_CDS, run_fig7
+
+from _bench_utils import record_tables
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_forward_node_set(benchmark, env):
+    tables = benchmark.pedantic(run_fig7, args=(env,), rounds=1, iterations=1)
+    record_tables(benchmark, tables)
+    for d, table in tables.items():
+        dyn25 = table.get(DYNAMIC_25).as_dict()
+        dyn3 = table.get(DYNAMIC_3).as_dict()
+        mo = table.get(MO_CDS).as_dict()
+        for n in dyn25:
+            # Shape: the dynamic backbone never loses to MO_CDS.
+            assert dyn25[n] <= mo[n] + 0.5, (d, n)
+            # Policies track each other closely.
+            assert dyn3[n] == pytest.approx(dyn25[n], rel=0.15, abs=2.0)
+        if d >= 18 and max(dyn25) >= 60:
+            # Dense networks: a clear win (paper's Figure 7(b)); require at
+            # least ~15% fewer forwards at the largest sizes.
+            n_max = max(dyn25)
+            assert dyn25[n_max] < 0.85 * mo[n_max], (
+                f"d={d}: dynamic {dyn25[n_max]:.1f} not clearly below "
+                f"mo-cds {mo[n_max]:.1f}"
+            )

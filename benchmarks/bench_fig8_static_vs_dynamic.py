@@ -1,0 +1,37 @@
+"""Figure 8: forward-node-set sizes of the static vs dynamic backbones.
+
+Paper claims reproduced here: "broadcasting in the dynamic backbone that
+uses the pruning technique has less broadcast redundancy than that in the
+static backbone", and "the difference between algorithms with the 3-hop
+coverage set and the 2.5-hop coverage set is very small".
+"""
+
+import pytest
+
+from repro.workload.experiments import (
+    DYNAMIC_25,
+    DYNAMIC_3,
+    STATIC_25,
+    STATIC_3,
+    run_fig8,
+)
+
+from _bench_utils import record_tables
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_static_vs_dynamic(benchmark, env):
+    tables = benchmark.pedantic(run_fig8, args=(env,), rounds=1, iterations=1)
+    record_tables(benchmark, tables)
+    for d, table in tables.items():
+        static25 = table.get(STATIC_25).as_dict()
+        static3 = table.get(STATIC_3).as_dict()
+        dyn25 = table.get(DYNAMIC_25).as_dict()
+        dyn3 = table.get(DYNAMIC_3).as_dict()
+        for n in static25:
+            # Shape: dynamic <= static for both coverage policies.
+            assert dyn25[n] <= static25[n] + 0.5, (d, n)
+            assert dyn3[n] <= static3[n] + 0.5, (d, n)
+            # Shape: policy choice barely matters.
+            assert static3[n] == pytest.approx(static25[n], rel=0.10)
+            assert dyn3[n] == pytest.approx(dyn25[n], rel=0.15, abs=2.0)

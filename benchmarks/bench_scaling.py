@@ -1,0 +1,41 @@
+"""Scaling bench: the pipeline far beyond the paper's n=100.
+
+Checks that (a) end-to-end construction stays fast at thousands of nodes
+(the spatial-hash build and linear clustering doing their jobs), and
+(b) the backbone and dynamic-forward *fractions* stay roughly flat for
+fixed density — the property that makes the approach usable at scale.
+"""
+
+import pytest
+
+from repro.workload.scaling import run_scaling_study
+
+NS = (100, 300, 1000, 3000)
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_pipeline_scaling(benchmark):
+    points = benchmark.pedantic(
+        run_scaling_study, kwargs=dict(ns=NS, average_degree=12.0, rng=1),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(f"{'n':>6} {'comp':>6} | {'build':>7} {'cluster':>8} "
+          f"{'coverage':>9} {'backbone':>9} | {'|CDS|/n':>8} {'dyn/n':>7}")
+    for p in points:
+        print(f"{p.n:>6} {p.component_n:>6} | {p.build_seconds:>7.3f} "
+              f"{p.cluster_seconds:>8.3f} {p.coverage_seconds:>9.3f} "
+              f"{p.backbone_seconds:>9.3f} | {p.backbone_fraction:>8.3f} "
+              f"{p.dynamic_fraction:>7.3f}")
+    benchmark.extra_info["points"] = [
+        {"n": p.n, "total_seconds": p.total_seconds,
+         "backbone_fraction": p.backbone_fraction} for p in points
+    ]
+    largest = points[-1]
+    # Whole pipeline at n=3000 in well under ten seconds.
+    assert largest.total_seconds < 10.0
+    # Fractions roughly flat across a 30x size range (fixed density).
+    fractions = [p.backbone_fraction for p in points]
+    assert max(fractions) - min(fractions) < 0.15
+    for p in points:
+        assert p.dynamic_fraction <= p.backbone_fraction + 0.02

@@ -1,0 +1,40 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's figures.  Fidelity is controlled by the
+``REPRO_BENCH_FIDELITY`` environment variable:
+
+* ``quick`` (default) — a fixed 12 paired trials per point: seconds per
+  figure, shapes stable, absolute numbers slightly noisy;
+* ``paper`` — the paper's stopping rule (99% CI within ±5%): minutes per
+  figure, numbers publication-grade.
+
+Each figure bench prints its series tables (run pytest with ``-s`` to see
+them) and records the series in ``benchmark.extra_info`` so they land in the
+JSON output of ``pytest-benchmark``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.workload.config import PaperEnvironment
+
+
+def bench_environment() -> PaperEnvironment:
+    """The environment selected by ``REPRO_BENCH_FIDELITY``."""
+    fidelity = os.environ.get("REPRO_BENCH_FIDELITY", "quick").lower()
+    if fidelity == "paper":
+        return PaperEnvironment.paper()
+    if fidelity == "quick":
+        return PaperEnvironment.quick()
+    raise ValueError(
+        f"REPRO_BENCH_FIDELITY must be 'quick' or 'paper', got {fidelity!r}"
+    )
+
+
+@pytest.fixture(scope="session")
+def env() -> PaperEnvironment:
+    """Session-wide experiment environment."""
+    return bench_environment()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Measure the backbones' approximation ratios against the exact MCDS.
+
+The paper proves both backbones have a constant approximation ratio to the
+minimum connected dominating set (Section 4).  Finding the MCDS is
+NP-complete, but for small networks the exact optimum is computable by
+branch and bound — so we can *measure* the realised ratios.
+
+Run:  python examples/approximation_ratio.py
+"""
+
+from repro.mcds.ratio import approximation_ratio_study
+
+
+def main() -> None:
+    print("exact-MCDS approximation ratios (n=14, d=5, 20 samples)\n")
+    samples = approximation_ratio_study(samples=20, n=14,
+                                        average_degree=5.0, rng=2003)
+    print(f"{'sample':>6} {'|MCDS|':>7} {'static2.5':>10} {'static3':>8} "
+          f"{'dynamic':>8} {'mo-cds':>7}")
+    for i, s in enumerate(samples):
+        print(f"{i:>6} {s.mcds_size:>7} {s.static_25:>10} {s.static_3:>8} "
+              f"{s.dynamic_25:>8} {s.mo_cds:>7}")
+    mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+    print("\nratios to the optimum:")
+    for label, values in (
+        ("static 2.5-hop", [s.static_ratio for s in samples]),
+        ("dynamic 2.5-hop", [s.dynamic_ratio for s in samples]),
+        ("mo-cds", [s.mo_ratio for s in samples]),
+    ):
+        print(f"  {label:<16} mean {mean(values):.2f}   "
+              f"worst {max(values):.2f}")
+    print("\nAll comfortably below small constants — the constant-ratio "
+          "claim, observed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Kept so `pip install -e .` / `python setup.py develop` work on offline
+machines without the `wheel` package (PEP 660 editable builds need it);
+all real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

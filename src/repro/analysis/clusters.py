@@ -1,0 +1,66 @@
+"""Cluster-shape statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cluster.state import ClusterStructure
+from repro.errors import ConfigurationError
+from repro.metrics.stats import Summary, summary
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Shape statistics of one clustering.
+
+    Attributes:
+        num_clusters: Number of clusters.
+        size: Summary of cluster sizes (head included).
+        head_degree: Summary of clusterhead degrees.
+        gateway_candidates: Nodes adjacent to a foreign cluster (the pool
+            GATEWAY selection draws from), as a count.
+        singleton_clusters: Clusters with no members.
+    """
+
+    num_clusters: int
+    size: Summary
+    head_degree: Summary
+    gateway_candidates: int
+    singleton_clusters: int
+
+    @property
+    def mean_size(self) -> float:
+        """Average cluster size."""
+        return self.size.mean
+
+
+def cluster_report(structure: ClusterStructure) -> ClusterReport:
+    """Compute shape statistics of ``structure``."""
+    if structure.num_clusters == 0:
+        raise ConfigurationError("cannot report on an empty clustering")
+    graph = structure.graph
+    sizes: List[float] = []
+    singletons = 0
+    for head, cluster in structure.clusters.items():
+        sizes.append(float(cluster.size))
+        if not cluster.members:
+            singletons += 1
+    head_degrees = [float(graph.degree(h)) for h in structure.clusterheads]
+    candidates = 0
+    for v in graph.nodes():
+        if structure.is_clusterhead(v):
+            continue
+        my_head = structure.head_of[v]
+        if any(
+            structure.head_of[w] != my_head
+            for w in graph.neighbours_view(v)
+        ):
+            candidates += 1
+    return ClusterReport(
+        num_clusters=structure.num_clusters,
+        size=summary(sizes),
+        head_degree=summary(head_degrees),
+        gateway_candidates=candidates,
+        singleton_clusters=singletons,
+    )

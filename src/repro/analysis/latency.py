@@ -1,0 +1,64 @@
+"""Broadcast latency analysis.
+
+With unit transmission delays, the fastest any broadcast can finish is the
+source's eccentricity (blind flooding achieves it).  A backbone forwards
+through fewer nodes, so packets may detour: the **latency stretch** is the
+ratio of achieved latency to that BFS lower bound.  The ablation bench shows
+the paper's backbones pay only a small constant stretch — worth knowing,
+since the paper never reports latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Tuple
+
+from repro.broadcast.result import BroadcastResult
+from repro.errors import BroadcastError
+from repro.graph.adjacency import Graph
+from repro.graph.traversal import eccentricity
+from repro.types import NodeId
+
+
+def latency_stretch(graph: Graph, result: BroadcastResult) -> float:
+    """Achieved latency over the BFS optimum from the result's source.
+
+    Args:
+        graph: The network the broadcast ran on.
+        result: A completed broadcast (must have reached all nodes —
+            otherwise "latency" compares incomparable coverage).
+
+    Returns:
+        ``latency / eccentricity(source)``; 1.0 means optimal.  A
+        single-node network returns 1.0 by convention.
+    """
+    if not result.delivered_to_all(graph):
+        raise BroadcastError(
+            f"{result.algorithm}: latency stretch undefined for partial "
+            f"delivery"
+        )
+    optimum = eccentricity(graph, result.source)
+    if optimum == 0:
+        return 1.0
+    return result.latency / optimum
+
+
+def latency_study(
+    graph: Graph,
+    protocols: Mapping[str, Callable[[Graph, NodeId], BroadcastResult]],
+    source: NodeId,
+) -> Dict[str, Tuple[int, float]]:
+    """Run several protocols from one source and report (latency, stretch).
+
+    Args:
+        graph: The network.
+        protocols: Label -> callable ``(graph, source) -> BroadcastResult``.
+        source: The broadcast source.
+
+    Returns:
+        Label -> ``(latency, stretch)``.
+    """
+    out: Dict[str, Tuple[int, float]] = {}
+    for label, fn in protocols.items():
+        result = fn(graph, source)
+        out[label] = (result.latency, latency_stretch(graph, result))
+    return out

@@ -1,0 +1,64 @@
+"""Reception redundancy: the broadcast-storm quantity, measured.
+
+Every transmission is received by all of the sender's unit-disk neighbours,
+so a broadcast with forward set ``F`` delivers ``sum(deg(v) for v in F)``
+packet copies in total.  The per-host average of that count is the channel
+pressure the broadcast-storm paper (Ni et al.) warns about, and the number
+the cluster backbones push down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.broadcast.result import BroadcastResult
+from repro.errors import ConfigurationError
+from repro.graph.adjacency import Graph
+from repro.types import NodeId
+
+
+@dataclass(frozen=True, slots=True)
+class RedundancyReport:
+    """Copy-count statistics of one broadcast.
+
+    Attributes:
+        total_receptions: Packet copies delivered network-wide.
+        mean_copies: Average copies per host.
+        max_copies: Copies at the busiest host.
+        silent_hosts: Hosts that received zero copies (0 on full delivery
+            from a transmitting source).
+        forward_fraction: ``|F| / n``.
+    """
+
+    total_receptions: int
+    mean_copies: float
+    max_copies: int
+    silent_hosts: int
+    forward_fraction: float
+
+
+def redundancy_report(graph: Graph, result: BroadcastResult) -> RedundancyReport:
+    """Compute the copy-count statistics of ``result`` on ``graph``.
+
+    Uses the forward set (not reception times), so it also works for partial
+    deliveries.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        raise ConfigurationError("redundancy undefined on an empty network")
+    copies: Dict[NodeId, int] = {v: 0 for v in graph}
+    for sender in result.forward_nodes:
+        for x in graph.neighbours_view(sender):
+            copies[x] += 1
+    total = sum(copies.values())
+    return RedundancyReport(
+        total_receptions=total,
+        mean_copies=total / n,
+        max_copies=max(copies.values()),
+        silent_hosts=sum(
+            1 for v, c in copies.items()
+            if c == 0 and v != result.source
+        ),
+        forward_fraction=len(result.forward_nodes) / n,
+    )

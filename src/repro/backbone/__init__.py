@@ -1,0 +1,24 @@
+"""Backbone construction: the static SI-CDS and the MO_CDS baseline.
+
+A backbone is the node set that forwards broadcast packets: all clusterheads
+plus selected gateways.  The **static backbone** (paper, Section 3) selects
+gateways with a per-clusterhead greedy set-cover heuristic; the **MO_CDS**
+baseline (Alzoubi–Wan–Frieder as described by the paper) selects one
+connector per 2-hop head and a relay pair per 3-hop head without merging.
+Dynamic (per-broadcast) gateway selection lives in
+:mod:`repro.broadcast.sd_cds` and reuses this package's selection heuristic.
+"""
+
+from repro.backbone.gateway_selection import GatewaySelection, select_gateways
+from repro.backbone.static_backbone import Backbone, build_static_backbone
+from repro.backbone.mo_cds import build_mo_cds
+from repro.backbone.verify import verify_backbone
+
+__all__ = [
+    "GatewaySelection",
+    "select_gateways",
+    "Backbone",
+    "build_static_backbone",
+    "build_mo_cds",
+    "verify_backbone",
+]

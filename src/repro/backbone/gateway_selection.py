@@ -1,0 +1,148 @@
+"""The paper's greedy gateway-selection heuristic (Section 3).
+
+Given a clusterhead ``u``'s coverage set, select gateways connecting ``u`` to
+every target clusterhead:
+
+1. While uncovered 2-hop targets remain, pick the neighbour ``v`` that
+   **directly covers** the most remaining ``C2`` targets; break ties by the
+   number of remaining ``C3`` targets ``v`` **indirectly covers** (via a
+   ``(v, w)`` witness pair), then by lowest node id.  Selecting ``v`` covers
+   its direct targets; any ``C3`` target with a ``(v, w)`` witness is covered
+   too, and the corresponding ``w`` (lowest id among ``v``'s partners for
+   that target) is selected as well.
+2. For each ``C3`` target still uncovered, select a witness pair ``(v, w)``.
+   The paper does not fix the choice; we prefer pairs reusing
+   already-selected gateways (fewest new nodes), breaking ties
+   lexicographically — deterministic and never worse than an arbitrary pick.
+
+The same function serves the static backbone (full coverage set) and the
+dynamic backbone (coverage set pruned to the remaining targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.coverage.entries import CoverageSet
+from repro.errors import BackboneError
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class GatewaySelection:
+    """Outcome of gateway selection for one clusterhead.
+
+    Attributes:
+        head: The selecting clusterhead ``u``.
+        gateways: All selected gateway node ids (first- and second-hop
+            relays together).
+        connectors: For each covered target clusterhead, the relay chain
+            from ``u``: ``(v,)`` for a 2-hop target, ``(v, w)`` for a 3-hop
+            target.
+    """
+
+    head: NodeId
+    gateways: FrozenSet[NodeId]
+    connectors: Mapping[NodeId, Tuple[NodeId, ...]]
+
+    @property
+    def num_gateways(self) -> int:
+        """Number of distinct gateways selected."""
+        return len(self.gateways)
+
+    def covered_targets(self) -> FrozenSet[NodeId]:
+        """The clusterheads this selection connects ``head`` to."""
+        return frozenset(self.connectors)
+
+
+def select_gateways(
+    coverage: CoverageSet,
+    targets: Optional[Iterable[NodeId]] = None,
+) -> GatewaySelection:
+    """Run the greedy heuristic for ``coverage.head``.
+
+    Args:
+        coverage: The clusterhead's coverage set (with witnesses).
+        targets: Restrict coverage obligations to these clusterheads (the
+            dynamic backbone passes its pruned target set).  Defaults to the
+            full coverage set.  Targets outside the coverage set are ignored
+            — the caller's pruning can only shrink obligations.
+
+    Returns:
+        The :class:`GatewaySelection`.
+
+    Raises:
+        BackboneError: if some target has no witness (cannot happen for
+            coverage sets produced by this library; guards corrupted input).
+    """
+    if targets is None:
+        cov = coverage
+    else:
+        cov = coverage.restricted(frozenset(targets))
+
+    remaining2: Set[NodeId] = set(cov.c2)
+    remaining3: Set[NodeId] = set(cov.c3)
+    gateways: Set[NodeId] = set()
+    connectors: Dict[NodeId, Tuple[NodeId, ...]] = {}
+
+    # Invert the witness maps around candidate first-hop neighbours.
+    direct_of: Dict[NodeId, Set[NodeId]] = {}
+    for ch, vs in cov.direct_witnesses.items():
+        for v in vs:
+            direct_of.setdefault(v, set()).add(ch)
+    indirect_of: Dict[NodeId, Dict[NodeId, Set[NodeId]]] = {}
+    for ch, pairs in cov.indirect_witnesses.items():
+        for v, w in pairs:
+            indirect_of.setdefault(v, {}).setdefault(ch, set()).add(w)
+
+    # Phase 1: greedy direct coverage of C2, absorbing C3 targets en route.
+    while remaining2:
+        best_v: Optional[NodeId] = None
+        best_key: Tuple[int, int, int] = (0, 0, 0)
+        for v, direct in direct_of.items():
+            gain2 = len(direct & remaining2)
+            if gain2 == 0:
+                continue
+            gain3 = len(
+                set(indirect_of.get(v, ())) & remaining3
+            )
+            key = (gain2, gain3, -v)
+            if best_v is None or key > best_key:
+                best_v, best_key = v, key
+        if best_v is None:
+            raise BackboneError(
+                f"head {cov.head}: 2-hop targets {sorted(remaining2)} have no "
+                f"remaining witness"
+            )
+        gateways.add(best_v)
+        for ch in direct_of[best_v] & remaining2:
+            connectors[ch] = (best_v,)
+        remaining2 -= direct_of[best_v]
+        for ch, ws in indirect_of.get(best_v, {}).items():
+            if ch in remaining3:
+                w = min(ws)
+                gateways.add(w)
+                connectors[ch] = (best_v, w)
+                remaining3.discard(ch)
+
+    # Phase 2: cover the leftover C3 targets with relay pairs, preferring
+    # pairs that reuse already-selected gateways.
+    for ch in sorted(remaining3):
+        pairs = cov.indirect_witnesses[ch]
+
+        def pair_cost(pair: Tuple[NodeId, NodeId]) -> Tuple[int, NodeId, NodeId]:
+            v, w = pair
+            new = (v not in gateways) + (w not in gateways)
+            return (new, v, w)
+
+        v, w = min(pairs, key=pair_cost)
+        gateways.add(v)
+        gateways.add(w)
+        connectors[ch] = (v, w)
+
+    return GatewaySelection(
+        head=cov.head,
+        gateways=frozenset(gateways),
+        connectors=connectors,
+    )

@@ -1,0 +1,56 @@
+"""Backbone verification: is the constructed node set really a CDS?
+
+Theorem 1 guarantees it for connected networks; this module is the runtime
+check used by tests, by the CLI's ``--verify`` flag and by users integrating
+custom clusterings.
+"""
+
+from __future__ import annotations
+
+from repro.backbone.static_backbone import Backbone
+from repro.errors import BackboneError
+from repro.graph.connectivity import is_connected
+from repro.graph.properties import is_connected_dominating_set, is_dominating_set
+
+
+def verify_backbone(backbone: Backbone) -> None:
+    """Raise :class:`~repro.errors.BackboneError` unless the backbone is a CDS.
+
+    For a disconnected underlying graph the check degrades gracefully: each
+    connected component must be dominated and the backbone restricted to the
+    component must be connected.
+    """
+    graph = backbone.structure.graph
+    nodes = backbone.nodes
+    if is_connected(graph):
+        if not is_connected_dominating_set(graph, nodes):
+            _diagnose(backbone)
+        return
+    from repro.graph.connectivity import connected_components
+
+    for comp in connected_components(graph):
+        comp_backbone = nodes & comp
+        sub = graph.subgraph(comp)
+        if not is_connected_dominating_set(sub, comp_backbone):
+            raise BackboneError(
+                f"{backbone.algorithm}: backbone restricted to a component of "
+                f"size {len(comp)} is not a CDS of that component"
+            )
+
+
+def _diagnose(backbone: Backbone) -> None:
+    """Raise with a message saying *which* CDS property failed."""
+    graph = backbone.structure.graph
+    nodes = backbone.nodes
+    if not is_dominating_set(graph, nodes):
+        uncovered = [
+            v for v in graph.nodes()
+            if v not in nodes and not (graph.neighbours_view(v) & nodes)
+        ]
+        raise BackboneError(
+            f"{backbone.algorithm}: backbone does not dominate nodes {uncovered}"
+        )
+    raise BackboneError(
+        f"{backbone.algorithm}: backbone of size {backbone.size} induces a "
+        f"disconnected subgraph"
+    )

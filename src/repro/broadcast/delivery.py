@@ -1,0 +1,30 @@
+"""Delivery verification for broadcast results."""
+
+from __future__ import annotations
+
+from repro.broadcast.result import BroadcastResult
+from repro.errors import BroadcastError
+from repro.graph.adjacency import Graph
+
+
+def delivery_ratio(graph: Graph, result: BroadcastResult) -> float:
+    """Fraction of the graph's nodes that received the packet."""
+    if graph.num_nodes == 0:
+        return 1.0
+    reached = sum(1 for v in graph.nodes() if v in result.received)
+    return reached / graph.num_nodes
+
+
+def check_full_delivery(graph: Graph, result: BroadcastResult) -> None:
+    """Raise :class:`~repro.errors.BroadcastError` unless all nodes received.
+
+    On a connected network every protocol in this library must achieve full
+    delivery (Theorems 1 and 2 for the CDS protocols); failing this check on
+    a connected graph indicates a bug, and the error lists the missed nodes.
+    """
+    missing = [v for v in graph.nodes() if v not in result.received]
+    if missing:
+        raise BroadcastError(
+            f"{result.algorithm}: broadcast from {result.source} missed "
+            f"{len(missing)} node(s): {missing[:10]}"
+        )

@@ -1,0 +1,49 @@
+"""Blind flooding: the broadcast-storm baseline.
+
+Every node forwards the packet exactly once upon first reception.  In a
+connected network the forward node set is the entire network — the redundancy
+the paper's backbones exist to remove.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict
+
+from repro.broadcast.result import BroadcastResult
+from repro.errors import NodeNotFoundError
+from repro.graph.adjacency import Graph
+from repro.types import NodeId
+
+
+def blind_flooding(graph: Graph, source: NodeId) -> BroadcastResult:
+    """Flood from ``source``; every node retransmits once.
+
+    Args:
+        graph: The network.
+        source: Originating node.
+
+    Returns:
+        The :class:`~repro.broadcast.result.BroadcastResult`; reception times
+        equal BFS hop distances.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    reception: Dict[NodeId, int] = {source: 0}
+    queue: deque[NodeId] = deque([source])
+    while queue:
+        v = queue.popleft()
+        t = reception[v]
+        for w in graph.neighbours_view(v):
+            if w not in reception:
+                reception[w] = t + 1
+                queue.append(w)
+    received = frozenset(reception)
+    return BroadcastResult(
+        source=source,
+        algorithm="blind-flooding",
+        forward_nodes=received,  # every receiver forwards
+        received=received,
+        reception_time=reception,
+        transmissions=len(received),
+    )

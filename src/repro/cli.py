@@ -1,0 +1,407 @@
+"""Command-line interface.
+
+``python -m repro.cli <command>`` (or the ``manet-backbone`` entry point):
+
+* ``generate``   — sample a connected network and save it as JSON;
+* ``cluster``    — cluster a network and print the structure;
+* ``backbone``   — build the static backbone / MO_CDS and print/verify it;
+* ``broadcast``  — run a broadcast protocol from a source and print stats;
+* ``experiment`` — regenerate a paper figure's series tables;
+* ``trace``      — run the distributed protocols and print the message trace;
+* ``ratio``      — the empirical MCDS approximation-ratio study;
+* ``svg``        — export the network/backbone as an SVG figure;
+* ``robustness`` — delivery ratios under a lossy data plane;
+* ``mobility``   — backbone churn under node movement;
+* ``route``      — a unicast route over the backbone.
+
+All commands accept ``--seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.rng import DEFAULT_SEED
+
+
+def _add_network_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", "-n", type=int, default=40,
+                        help="number of nodes (default 40)")
+    parser.add_argument("--degree", "-d", type=float, default=6.0,
+                        help="target average degree (default 6)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="random seed")
+    parser.add_argument("--load", metavar="FILE",
+                        help="load a saved network instead of generating one")
+
+
+def _obtain_network(args: argparse.Namespace):
+    from repro.graph.generators import random_geometric_network
+    from repro.io.network_json import load_network
+
+    if args.load:
+        return load_network(args.load)
+    return random_geometric_network(args.nodes, args.degree, rng=args.seed)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.io.network_json import save_network
+
+    net = _obtain_network(args)
+    save_network(net, args.out)
+    print(f"wrote n={net.num_nodes} r={net.radius:.2f} network to {args.out}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster.lowest_id import lowest_id_clustering
+    from repro.viz.ascii_art import render_backbone
+
+    net = _obtain_network(args)
+    structure = lowest_id_clustering(net.graph)
+    heads = structure.sorted_heads()
+    print(f"{net.num_nodes} nodes, {len(heads)} clusters")
+    for h in heads:
+        print(f"  cluster {h}: members {sorted(structure.members(h))}")
+    if args.render:
+        print(render_backbone(net, structure))
+    return 0
+
+
+def _cmd_backbone(args: argparse.Namespace) -> int:
+    from repro.backbone.mo_cds import build_mo_cds
+    from repro.backbone.static_backbone import build_static_backbone
+    from repro.backbone.verify import verify_backbone
+    from repro.cluster.lowest_id import lowest_id_clustering
+    from repro.types import CoveragePolicy
+    from repro.viz.ascii_art import render_backbone
+
+    net = _obtain_network(args)
+    structure = lowest_id_clustering(net.graph)
+    policy = (CoveragePolicy.THREE_HOP if args.policy == "3"
+              else CoveragePolicy.TWO_FIVE_HOP)
+    if args.algorithm == "mo-cds":
+        backbone = build_mo_cds(structure)
+    else:
+        backbone = build_static_backbone(structure, policy)
+    verify_backbone(backbone)
+    print(f"{backbone.algorithm}: |CDS| = {backbone.size} "
+          f"({len(structure.clusterheads)} heads + "
+          f"{len(backbone.gateways)} gateways) of {net.num_nodes} nodes "
+          f"[verified CDS]")
+    if args.render:
+        print(render_backbone(net, structure, backbone.gateways))
+    return 0
+
+
+def _cmd_broadcast(args: argparse.Namespace) -> int:
+    from repro.backbone.mo_cds import build_mo_cds
+    from repro.backbone.static_backbone import build_static_backbone
+    from repro.broadcast.delivery import check_full_delivery
+    from repro.broadcast.flooding import blind_flooding
+    from repro.broadcast.sd_cds import broadcast_sd
+    from repro.broadcast.si_cds import broadcast_si
+    from repro.cluster.lowest_id import lowest_id_clustering
+    from repro.types import CoveragePolicy, PruningLevel
+
+    net = _obtain_network(args)
+    structure = lowest_id_clustering(net.graph)
+    source = args.source if args.source is not None else min(net.graph.nodes())
+    policy = (CoveragePolicy.THREE_HOP if args.policy == "3"
+              else CoveragePolicy.TWO_FIVE_HOP)
+    if args.protocol == "flooding":
+        result = blind_flooding(net.graph, source)
+    elif args.protocol == "static":
+        result = broadcast_si(
+            net.graph, build_static_backbone(structure, policy), source
+        )
+    elif args.protocol == "mo-cds":
+        result = broadcast_si(net.graph, build_mo_cds(structure), source)
+    else:  # dynamic
+        result = broadcast_sd(
+            structure, source, policy=policy,
+            pruning=PruningLevel(args.pruning),
+        ).result
+    check_full_delivery(net.graph, result)
+    print(f"{result.algorithm} from {source}: "
+          f"{result.num_forward_nodes}/{net.num_nodes} forward nodes, "
+          f"latency {result.latency}, {result.transmissions} transmissions "
+          f"[full delivery]")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.io.results import tables_to_csv, tables_to_json
+    from repro.workload.config import PaperEnvironment
+    from repro.workload.experiments import (
+        run_fig6, run_fig7, run_fig8, run_flooding_comparison,
+    )
+
+    runners = {
+        "fig6": run_fig6,
+        "fig7": run_fig7,
+        "fig8": run_fig8,
+        "flooding": run_flooding_comparison,
+    }
+    env = PaperEnvironment.quick() if args.quick else PaperEnvironment.paper()
+    env = env.scaled(seed=args.seed)
+    tables = runners[args.figure](env)
+    for _d, table in sorted(tables.items()):
+        print(table.render(ci=args.ci))
+        print()
+    if args.csv:
+        n = tables_to_csv(tables.values(), args.csv)
+        print(f"wrote {n} rows to {args.csv}")
+    if args.json:
+        n = tables_to_json(tables.values(), args.json)
+        print(f"wrote {n} records to {args.json}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.graph.generators import paper_figure3_graph
+    from repro.protocols.runner import (
+        run_distributed_build, run_distributed_sd_broadcast,
+    )
+    from repro.types import CoveragePolicy
+
+    if args.figure3:
+        graph = paper_figure3_graph()
+    else:
+        graph = _obtain_network(args).graph
+    policy = (CoveragePolicy.THREE_HOP if args.policy == "3"
+              else CoveragePolicy.TWO_FIVE_HOP)
+    build = run_distributed_build(graph, policy)
+    source = args.source if args.source is not None else min(graph.nodes())
+    result, stats = run_distributed_sd_broadcast(build, source)
+    print(build.network.trace.render(limit=args.limit))
+    print()
+    for phase in build.phases:
+        print(f"phase {phase.name:<10} {phase.messages:>5} msgs  "
+              f"volume {phase.volume:>6}  duration {phase.duration:g}")
+    print(f"phase {'sd-bcast':<10} {stats.messages:>5} msgs  "
+          f"volume {stats.volume:>6}  duration {stats.duration:g}")
+    print(f"\nSD broadcast from {source}: forward nodes "
+          f"{sorted(result.forward_nodes)}")
+    return 0
+
+
+def _cmd_ratio(args: argparse.Namespace) -> int:
+    from repro.mcds.ratio import approximation_ratio_study
+
+    samples = approximation_ratio_study(
+        samples=args.samples, n=args.nodes, average_degree=args.degree,
+        rng=args.seed,
+    )
+    worst_static = max(s.static_ratio for s in samples)
+    worst_dynamic = max(s.dynamic_ratio for s in samples)
+    worst_mo = max(s.mo_ratio for s in samples)
+    print(f"{len(samples)} samples, n={args.nodes}, d={args.degree}")
+    print(f"  static/MCDS  : worst {worst_static:.2f}, "
+          f"mean {sum(s.static_ratio for s in samples) / len(samples):.2f}")
+    print(f"  dynamic/MCDS : worst {worst_dynamic:.2f}, "
+          f"mean {sum(s.dynamic_ratio for s in samples) / len(samples):.2f}")
+    print(f"  mo-cds/MCDS  : worst {worst_mo:.2f}, "
+          f"mean {sum(s.mo_ratio for s in samples) / len(samples):.2f}")
+    return 0
+
+
+def _cmd_svg(args: argparse.Namespace) -> int:
+    from repro.backbone.static_backbone import build_static_backbone
+    from repro.cluster.lowest_id import lowest_id_clustering
+    from repro.types import CoveragePolicy
+    from repro.viz.svg import backbone_to_svg, network_to_svg
+
+    net = _obtain_network(args)
+    if args.backbone:
+        policy = (CoveragePolicy.THREE_HOP if args.policy == "3"
+                  else CoveragePolicy.TWO_FIVE_HOP)
+        backbone = build_static_backbone(
+            lowest_id_clustering(net.graph), policy
+        )
+        svg = backbone_to_svg(net, backbone, labels=not args.no_labels)
+    else:
+        svg = network_to_svg(net, labels=not args.no_labels)
+    with open(args.out, "w") as fh:
+        fh.write(svg)
+    print(f"wrote {args.out} ({net.num_nodes} nodes)")
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from repro.workload.robustness import run_robustness_sweep
+
+    points = run_robustness_sweep(
+        losses=tuple(args.losses), n=args.nodes,
+        average_degree=args.degree, trials=args.trials, rng=args.seed,
+    )
+    print(f"{'loss':>6} | {'flooding':>9} {'static':>8} {'dynamic':>8}")
+    for p in points:
+        print(f"{p.loss_probability:>6g} | {p.delivery['flooding']:>9.3f} "
+              f"{p.delivery['static']:>8.3f} {p.delivery['dynamic']:>8.3f}")
+    return 0
+
+
+def _cmd_mobility(args: argparse.Namespace) -> int:
+    from repro.geometry.mobility import RandomWalk, RandomWaypoint
+    from repro.maintenance.session import MobilitySession
+
+    net = _obtain_network(args)
+    if args.model == "walk":
+        model = RandomWalk(speed=args.speed, area=net.area, rng=args.seed)
+    else:
+        model = RandomWaypoint(speed_range=(0.5 * args.speed, args.speed),
+                               area=net.area, rng=args.seed)
+    session = MobilitySession(net, model)
+    print(f"{'t':>4} {'links±':>7} {'head flips':>11} {'gw turnover':>12} "
+          f"{'re-signalling':>14} {'connected':>10}")
+    for report in session.run(args.ticks):
+        assert report.cluster_churn and report.backbone_churn
+        print(f"{report.time:>4g} {report.link_changes:>7} "
+              f"{report.cluster_churn.role_change_count:>11} "
+              f"{report.backbone_churn.gateway_turnover:>12} "
+              f"{len(report.backbone_churn.heads_with_new_selection):>14} "
+              f"{str(report.connected):>10}")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.backbone.static_backbone import build_static_backbone
+    from repro.cluster.lowest_id import lowest_id_clustering
+    from repro.graph.traversal import bfs_distances
+    from repro.routing.cluster_routing import backbone_route
+
+    net = _obtain_network(args)
+    backbone = build_static_backbone(lowest_id_clustering(net.graph))
+    nodes = net.graph.nodes()
+    source = args.source if args.source is not None else nodes[0]
+    target = args.target if args.target is not None else nodes[-1]
+    route = backbone_route(backbone, source, target)
+    optimal = bfs_distances(net.graph, source).get(target)
+    hops = len(route) - 1
+    stretch = (hops / optimal) if optimal else 1.0
+    print(f"route {source} -> {target}: {' -> '.join(map(str, route))}")
+    print(f"{hops} hops (shortest possible {optimal}, stretch "
+          f"{stretch:.2f}); relays all on the {backbone.size}-node backbone")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="manet-backbone",
+        description="Cluster-based backbone infrastructure for broadcasting "
+                    "in MANETs (Lou & Wu, IPPS 2003).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="sample a connected network to JSON")
+    _add_network_args(p)
+    p.add_argument("--out", required=True, help="output JSON file")
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("cluster", help="cluster a network")
+    _add_network_args(p)
+    p.add_argument("--render", action="store_true", help="ASCII rendering")
+    p.set_defaults(func=_cmd_cluster)
+
+    p = sub.add_parser("backbone", help="build and verify a backbone")
+    _add_network_args(p)
+    p.add_argument("--algorithm", choices=["static", "mo-cds"],
+                   default="static")
+    p.add_argument("--policy", choices=["2.5", "3"], default="2.5",
+                   help="coverage policy (static backbone only)")
+    p.add_argument("--render", action="store_true", help="ASCII rendering")
+    p.set_defaults(func=_cmd_backbone)
+
+    p = sub.add_parser("broadcast", help="run one broadcast")
+    _add_network_args(p)
+    p.add_argument("--protocol",
+                   choices=["flooding", "static", "dynamic", "mo-cds"],
+                   default="dynamic")
+    p.add_argument("--policy", choices=["2.5", "3"], default="2.5")
+    p.add_argument("--pruning", choices=["none", "basic", "full"],
+                   default="full")
+    p.add_argument("--source", type=int, default=None,
+                   help="source node id (default: smallest id)")
+    p.set_defaults(func=_cmd_broadcast)
+
+    p = sub.add_parser("experiment", help="regenerate a paper figure")
+    p.add_argument("figure", choices=["fig6", "fig7", "fig8", "flooding"])
+    p.add_argument("--quick", action="store_true",
+                   help="reduced trial counts (fast, noisier)")
+    p.add_argument("--ci", action="store_true",
+                   help="print confidence half-widths")
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.add_argument("--csv", help="also write rows to this CSV file")
+    p.add_argument("--json", help="also write records to this JSON file")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("trace", help="distributed protocol message trace")
+    _add_network_args(p)
+    p.add_argument("--figure3", action="store_true",
+                   help="use the paper's Figure 3 example network")
+    p.add_argument("--policy", choices=["2.5", "3"], default="2.5")
+    p.add_argument("--source", type=int, default=None)
+    p.add_argument("--limit", type=int, default=60,
+                   help="max trace lines to print")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("ratio", help="empirical MCDS approximation ratios")
+    p.add_argument("--samples", type=int, default=10)
+    p.add_argument("--nodes", "-n", type=int, default=14)
+    p.add_argument("--degree", "-d", type=float, default=5.0)
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.set_defaults(func=_cmd_ratio)
+
+
+    p = sub.add_parser("svg", help="export the network/backbone as SVG")
+    _add_network_args(p)
+    p.add_argument("--out", required=True, help="output .svg file")
+    p.add_argument("--backbone", action="store_true",
+                   help="draw the static backbone roles and connectors")
+    p.add_argument("--policy", choices=["2.5", "3"], default="2.5")
+    p.add_argument("--no-labels", action="store_true")
+    p.set_defaults(func=_cmd_svg)
+
+    p = sub.add_parser("robustness", help="delivery ratio under channel loss")
+    p.add_argument("--nodes", "-n", type=int, default=50)
+    p.add_argument("--degree", "-d", type=float, default=10.0)
+    p.add_argument("--trials", type=int, default=10)
+    p.add_argument("--losses", type=float, nargs="+",
+                   default=[0.0, 0.1, 0.2, 0.3])
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.set_defaults(func=_cmd_robustness)
+
+    p = sub.add_parser("mobility", help="backbone churn under movement")
+    _add_network_args(p)
+    p.add_argument("--model", choices=["walk", "waypoint"], default="walk")
+    p.add_argument("--speed", type=float, default=2.0)
+    p.add_argument("--ticks", type=int, default=10)
+    p.set_defaults(func=_cmd_mobility)
+
+
+    p = sub.add_parser("route", help="unicast route over the backbone")
+    _add_network_args(p)
+    p.add_argument("--source", type=int, default=None)
+    p.add_argument("--target", type=int, default=None)
+    p.set_defaults(func=_cmd_route)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.func(args))
+    except Exception as exc:  # surface library errors as clean CLI failures
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Clustering: lowest-ID cluster formation and the cluster graph.
+
+The backbone infrastructure sits on the classic two-level cluster structure:
+clusterheads form an independent dominating set elected by the lowest-ID
+rule; every other node is a member of exactly one adjacent clusterhead's
+cluster.  The *cluster graph* abstracts the clustered network to one vertex
+per cluster with a directed link ``(v, w)`` whenever ``w`` is in ``C(v)``;
+its strong connectivity (Wu & Lou) underpins Theorem 1.
+"""
+
+from repro.cluster.state import Cluster, ClusterStructure
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.cluster.highest_degree import highest_degree_clustering
+from repro.cluster.validate import validate_cluster_structure
+from repro.cluster.cluster_graph import build_cluster_graph, cluster_graph_is_strongly_connected
+
+__all__ = [
+    "Cluster",
+    "ClusterStructure",
+    "lowest_id_clustering",
+    "highest_degree_clustering",
+    "validate_cluster_structure",
+    "build_cluster_graph",
+    "cluster_graph_is_strongly_connected",
+]

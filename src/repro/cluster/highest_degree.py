@@ -1,0 +1,45 @@
+"""Highest-degree (highest-connectivity) clustering — an extension.
+
+The paper builds on lowest-ID clustering, but the backbone construction only
+requires *some* clustering whose heads form an independent dominating set.
+This variant elects heads by descending degree (ties broken by lower id),
+which tends to produce fewer, larger clusters in dense networks; ablation
+benchmarks compare backbone sizes under both electorates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cluster.state import ClusterStructure
+from repro.graph.adjacency import Graph
+from repro.types import NodeId
+
+
+def highest_degree_clustering(graph: Graph) -> ClusterStructure:
+    """Cluster ``graph`` electing heads by (degree desc, id asc) priority.
+
+    The sequential characterisation mirrors the lowest-ID one with the
+    priority key swapped: scanning nodes by descending degree (id ascending
+    within ties), a node becomes a head iff no already-decided head
+    dominates it; members join the neighbouring head with the best priority.
+
+    Returns:
+        The resulting :class:`~repro.cluster.state.ClusterStructure`.
+    """
+
+    def priority(v: NodeId) -> tuple[int, NodeId]:
+        # Lower tuple = better candidate.
+        return (-graph.degree(v), v)
+
+    head_of: Dict[NodeId, NodeId] = {}
+    is_head: Dict[NodeId, bool] = {}
+    for v in sorted(graph.nodes(), key=priority):
+        neighbour_heads = [w for w in graph.neighbours_view(v) if is_head.get(w, False)]
+        if neighbour_heads:
+            head_of[v] = min(neighbour_heads, key=priority)
+            is_head[v] = False
+        else:
+            head_of[v] = v
+            is_head[v] = True
+    return ClusterStructure(graph=graph, head_of=head_of)

@@ -1,0 +1,61 @@
+"""Validation of cluster structures against their defining invariants.
+
+Separated from construction so the distributed protocol's output (and any
+user-supplied clustering) can be checked with the same code that the
+property-based tests use.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster.state import ClusterStructure
+from repro.errors import ClusteringError
+from repro.graph.properties import is_dominating_set, is_independent_set
+
+
+def validate_cluster_structure(structure: ClusterStructure, *,
+                               lowest_id: bool = False) -> None:
+    """Raise :class:`~repro.errors.ClusteringError` on any violated invariant.
+
+    Always checked (Section 1 of the paper):
+
+    * clusterheads form an independent set ("two clusterheads cannot be
+      neighbors");
+    * clusterheads form a dominating set;
+    * every member is adjacent to its head (already enforced by the type).
+
+    With ``lowest_id=True``, additionally check the lowest-ID fixpoint:
+
+    * a head has no smaller-id head neighbour at distance 2 claiming it —
+      concretely, a node is a head iff it has no neighbouring head with a
+      smaller id, and every member's head is its smallest neighbouring head.
+    """
+    graph = structure.graph
+    heads = structure.clusterheads
+    problems: List[str] = []
+    if not is_independent_set(graph, heads):
+        problems.append("clusterheads are not an independent set")
+    if not is_dominating_set(graph, heads):
+        problems.append("clusterheads are not a dominating set")
+    if lowest_id:
+        for v in graph.nodes():
+            neighbour_heads = sorted(
+                w for w in graph.neighbours_view(v) if w in heads
+            )
+            if v in heads:
+                smaller = [w for w in neighbour_heads if w < v]
+                if smaller:
+                    problems.append(
+                        f"head {v} has a smaller-id head neighbour {smaller[0]}"
+                    )
+            else:
+                if not neighbour_heads:
+                    problems.append(f"member {v} has no neighbouring head")
+                elif structure.head_of[v] != neighbour_heads[0]:
+                    problems.append(
+                        f"member {v} joined head {structure.head_of[v]}, not its "
+                        f"smallest neighbouring head {neighbour_heads[0]}"
+                    )
+    if problems:
+        raise ClusteringError("; ".join(problems))

@@ -1,0 +1,30 @@
+"""Coverage sets: which clusterheads a clusterhead must reach through gateways.
+
+A clusterhead ``u``'s coverage set ``C(u) = C2(u) ∪ C3(u)`` (paper, Section 1)
+lists the nearby clusterheads it is responsible for connecting to:
+
+* ``C2(u)`` — clusterheads exactly two hops away (learned from CH_HOP1
+  messages of ``u``'s neighbours);
+* ``C3(u)`` — distance-3 clusterheads.  Under the **3-hop** policy this is
+  every clusterhead at distance 3; under the **2.5-hop** policy only those
+  with a cluster *member* inside ``N^2(u)`` (learned from CH_HOP2 messages),
+  which is cheaper to maintain.
+
+Alongside the head sets, each coverage set records *witnesses*: for a 2-hop
+head the neighbours of ``u`` that reach it directly, and for a 3-hop head the
+``(v, w)`` relay pairs — exactly the information the CH_HOP1/CH_HOP2 exchange
+gives a real clusterhead, and what gateway selection consumes.
+"""
+
+from repro.coverage.entries import CoverageSet
+from repro.coverage.policy import compute_all_coverage_sets, compute_coverage_set
+from repro.coverage.three_hop import three_hop_coverage
+from repro.coverage.two_five_hop import two_five_hop_coverage
+
+__all__ = [
+    "CoverageSet",
+    "compute_coverage_set",
+    "compute_all_coverage_sets",
+    "two_five_hop_coverage",
+    "three_hop_coverage",
+]

@@ -1,0 +1,35 @@
+"""Policy dispatch: compute coverage sets under either definition."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cluster.state import ClusterStructure
+from repro.coverage.entries import CoverageSet
+from repro.coverage.three_hop import three_hop_coverage
+from repro.coverage.two_five_hop import two_five_hop_coverage
+from repro.types import CoveragePolicy, NodeId
+
+
+def compute_coverage_set(
+    structure: ClusterStructure,
+    head: NodeId,
+    policy: CoveragePolicy = CoveragePolicy.TWO_FIVE_HOP,
+) -> CoverageSet:
+    """Coverage set of ``head`` under ``policy``."""
+    if policy is CoveragePolicy.TWO_FIVE_HOP:
+        return two_five_hop_coverage(structure, head)
+    if policy is CoveragePolicy.THREE_HOP:
+        return three_hop_coverage(structure, head)
+    raise ValueError(f"unknown coverage policy {policy!r}")
+
+
+def compute_all_coverage_sets(
+    structure: ClusterStructure,
+    policy: CoveragePolicy = CoveragePolicy.TWO_FIVE_HOP,
+) -> Dict[NodeId, CoverageSet]:
+    """Coverage sets for every clusterhead, keyed by head id."""
+    return {
+        h: compute_coverage_set(structure, h, policy)
+        for h in structure.sorted_heads()
+    }

@@ -1,0 +1,77 @@
+"""The 3-hop coverage set: every clusterhead within graph distance 3.
+
+``C2(u)`` is identical to the 2.5-hop case; ``C3(u)`` contains **all**
+clusterheads at distance exactly 3, each with every relay pair ``(v, w)``
+(``u–v–w–ch``) as witnesses.  Unlike the 2.5-hop set, a clusterhead enters
+``C3`` even when none of its own members lies within ``N^2(u)`` (the ``c'``
+case of the paper's Figure 1) — which is why the 3-hop set is a superset and
+costs more to maintain.
+
+The 3-hop cluster graph is symmetric (``w ∈ C(v) ⇔ v ∈ C(w)``), a property
+the tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.cluster.state import ClusterStructure
+from repro.coverage.entries import CoverageSet, WitnessPair, freeze_witnesses
+from repro.errors import CoverageError
+from repro.graph.traversal import bfs_distances
+from repro.types import CoveragePolicy, NodeId
+
+
+def three_hop_coverage(structure: ClusterStructure, head: NodeId) -> CoverageSet:
+    """Compute clusterhead ``head``'s 3-hop coverage set.
+
+    Args:
+        structure: A finished clustering of the network.
+        head: The clusterhead whose coverage set to build.
+
+    Returns:
+        The :class:`~repro.coverage.entries.CoverageSet` with witnesses.
+
+    Raises:
+        CoverageError: if ``head`` is not a clusterhead.
+    """
+    if not structure.is_clusterhead(head):
+        raise CoverageError(f"node {head} is not a clusterhead")
+    graph = structure.graph
+    dist = bfs_distances(graph, head, max_depth=3)
+
+    c2: Set[NodeId] = set()
+    direct: Dict[NodeId, Set[NodeId]] = {}
+    c3: Set[NodeId] = set()
+    indirect: Dict[NodeId, Set[WitnessPair]] = {}
+
+    for node, d in dist.items():
+        if not structure.is_clusterhead(node) or node == head:
+            continue
+        if d == 2:
+            c2.add(node)
+        elif d == 3:
+            c3.add(node)
+        # d == 1 is impossible: clusterheads form an independent set.
+
+    neighbours = graph.neighbours_view(head)
+    for ch in c2:
+        direct[ch] = set(graph.neighbours_view(ch) & neighbours)
+    for ch in c3:
+        pairs: Set[WitnessPair] = set()
+        for w in graph.neighbours_view(ch):
+            if dist.get(w) != 2:
+                continue
+            for v in graph.neighbours_view(w) & neighbours:
+                pairs.add((v, w))
+        indirect[ch] = pairs
+
+    dfz, ifz = freeze_witnesses(direct, indirect)
+    return CoverageSet(
+        head=head,
+        policy=CoveragePolicy.THREE_HOP,
+        c2=frozenset(c2),
+        c3=frozenset(c3),
+        direct_witnesses=dfz,
+        indirect_witnesses=ifz,
+    )

@@ -1,0 +1,92 @@
+"""The 2.5-hop coverage set (CH_HOP1 / CH_HOP2 semantics).
+
+This module computes, centrally, exactly what the paper's message exchange
+gives a clusterhead ``u``:
+
+* every non-clusterhead ``v`` broadcasts ``CH_HOP1(v)`` — its 1-hop
+  neighbouring clusterheads;
+* on hearing ``CH_HOP1(w)`` from a neighbour ``w``, node ``v`` records the
+  entry ``head(w)[w]`` **unless** ``head(w)`` is itself a neighbour of ``v``;
+  ``v`` then broadcasts the entries as ``CH_HOP2(v)``;
+* ``u`` assembles ``C2(u)`` from its neighbours' CH_HOP1 and ``C3(u)`` from
+  their CH_HOP2, dropping from ``C3`` anything already in ``C2`` (and ``u``).
+
+Note the fine point visible in the paper's example ("node 4 is not added to
+node 5's 2-hop neighbor clusterhead set"): CH_HOP2 entries carry only the
+*clusterhead of the announcing member* — a distance-3 clusterhead enters the
+2.5-hop set only when one of its own members sits within ``N^2(u)``.
+
+The distributed implementation in :mod:`repro.protocols.coverage` is
+property-tested to agree with this function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.cluster.state import ClusterStructure
+from repro.coverage.entries import CoverageSet, WitnessPair, freeze_witnesses
+from repro.errors import CoverageError
+from repro.types import CoveragePolicy, NodeId
+
+
+def two_five_hop_coverage(structure: ClusterStructure, head: NodeId) -> CoverageSet:
+    """Compute clusterhead ``head``'s 2.5-hop coverage set.
+
+    Args:
+        structure: A finished clustering of the network.
+        head: The clusterhead whose coverage set to build.
+
+    Returns:
+        The :class:`~repro.coverage.entries.CoverageSet` with witnesses.
+
+    Raises:
+        CoverageError: if ``head`` is not a clusterhead.
+    """
+    if not structure.is_clusterhead(head):
+        raise CoverageError(f"node {head} is not a clusterhead")
+    graph = structure.graph
+
+    c2: Set[NodeId] = set()
+    direct: Dict[NodeId, Set[NodeId]] = {}
+    # C2(u): union of CH_HOP1(v) over u's neighbours v, minus u itself.
+    # (All neighbours of a clusterhead are non-clusterheads, so each really
+    # does send a CH_HOP1.)
+    for v in graph.neighbours_view(head):
+        for ch in structure.neighbouring_clusterheads(v):
+            if ch == head:
+                continue
+            c2.add(ch)
+            direct.setdefault(ch, set()).add(v)
+
+    c3: Set[NodeId] = set()
+    indirect: Dict[NodeId, Set[WitnessPair]] = {}
+    # C3(u): union of CH_HOP2(v) entries.  v's CH_HOP2 holds head(w)[w] for
+    # each non-clusterhead neighbour w whose own head is not adjacent to v.
+    for v in graph.neighbours_view(head):
+        for w in graph.neighbours_view(v):
+            if structure.is_clusterhead(w):
+                continue  # CH_HOP1 of clusterheads does not exist
+            ch = structure.head_of[w]
+            if ch in graph.neighbours_view(v):
+                continue  # v ignores entries whose head it already neighbours
+            if ch == head:
+                continue  # defensive; implied by the previous test since v ~ head
+            c3.add(ch)
+            indirect.setdefault(ch, set()).add((v, w))
+
+    # "If a clusterhead appears in both C2(u) and C3(u), the one in C3(u) is
+    # removed."
+    for ch in c2:
+        c3.discard(ch)
+        indirect.pop(ch, None)
+
+    dfz, ifz = freeze_witnesses(direct, indirect)
+    return CoverageSet(
+        head=head,
+        policy=CoveragePolicy.TWO_FIVE_HOP,
+        c2=frozenset(c2),
+        c3=frozenset(c3),
+        direct_witnesses=dfz,
+        indirect_witnesses=ifz,
+    )

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate the failure class.  Errors are grouped by subsystem:
+geometry / graph construction, clustering, backbone construction, broadcast
+execution, the discrete-event simulator and the experiment harness.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or parameter combination was supplied."""
+
+
+class GeometryError(ReproError, ValueError):
+    """Invalid geometric input (bad area, negative radius, shape mismatch)."""
+
+
+class GraphError(ReproError):
+    """Base class for graph-structure errors."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node id was referenced that is not present in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(node)
+        self.node = node
+
+    def __str__(self) -> str:  # pragma: no cover - trivial formatting
+        return f"node {self.node!r} is not in the graph"
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation that requires a connected graph was given a disconnected one.
+
+    The paper's simulation environment discards disconnected samples; library
+    entry points that assume connectivity raise this error instead of silently
+    producing a partial result.
+    """
+
+
+class ClusteringError(ReproError):
+    """Clustering produced (or was given) an inconsistent cluster structure."""
+
+
+class CoverageError(ReproError):
+    """A coverage-set computation was asked of a non-clusterhead or failed."""
+
+
+class BackboneError(ReproError):
+    """Backbone construction failed or produced a structure that is not a CDS."""
+
+
+class BroadcastError(ReproError):
+    """A broadcast protocol failed to complete or to deliver to all nodes."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ProtocolError(SimulationError):
+    """A distributed protocol violated its own state machine."""
+
+
+class ExperimentError(ReproError):
+    """The experiment harness could not complete a measurement."""
+
+
+class SampleBudgetExceededError(ExperimentError):
+    """The sequential stopping rule did not converge within the trial budget."""
+
+    def __init__(self, trials: int, half_width_ratio: float, target: float) -> None:
+        super().__init__(
+            f"confidence interval not within ±{target:.0%} after {trials} trials "
+            f"(achieved ±{half_width_ratio:.1%})"
+        )
+        self.trials = trials
+        self.half_width_ratio = half_width_ratio
+        self.target = target

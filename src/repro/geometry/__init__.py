@@ -1,0 +1,46 @@
+"""Geometric substrate: working areas, placements, unit-disk range, mobility.
+
+The paper's simulation environment is a ``100 x 100`` confined working space
+with uniformly random node placement and a common transmission range chosen
+to hit a target average degree.  This package provides those pieces plus a
+spatial hash grid used to build unit disk graphs in near-linear time and
+mobility models for the maintenance extension.
+"""
+
+from repro.geometry.area import Area
+from repro.geometry.disk import (
+    expected_degree,
+    pairwise_distances,
+    range_for_target_degree,
+    calibrate_range_empirical,
+)
+from repro.geometry.grid import SpatialGrid
+from repro.geometry.placement import (
+    chain_placement,
+    grid_placement,
+    hotspot_placement,
+    uniform_placement,
+)
+from repro.geometry.mobility import (
+    MobilityModel,
+    RandomWalk,
+    RandomWaypoint,
+    clamp_to_area,
+)
+
+__all__ = [
+    "Area",
+    "SpatialGrid",
+    "expected_degree",
+    "pairwise_distances",
+    "range_for_target_degree",
+    "calibrate_range_empirical",
+    "uniform_placement",
+    "grid_placement",
+    "chain_placement",
+    "hotspot_placement",
+    "MobilityModel",
+    "RandomWaypoint",
+    "RandomWalk",
+    "clamp_to_area",
+]

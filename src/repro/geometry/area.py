@@ -1,0 +1,79 @@
+"""Rectangular working areas.
+
+The paper confines nodes to a ``100 x 100`` square.  :class:`Area` is a small
+value object describing an axis-aligned rectangle ``[0, width] x [0, height]``
+with helpers for containment checks, sampling-domain size and clamping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True, slots=True)
+class Area:
+    """An axis-aligned rectangular working space anchored at the origin.
+
+    Attributes:
+        width: Horizontal extent (exclusive upper bound for x coordinates).
+        height: Vertical extent (exclusive upper bound for y coordinates).
+    """
+
+    width: float = 100.0
+    height: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not (self.width > 0.0 and self.height > 0.0):
+            raise GeometryError(
+                f"area dimensions must be positive, got {self.width} x {self.height}"
+            )
+        if not (np.isfinite(self.width) and np.isfinite(self.height)):
+            raise GeometryError("area dimensions must be finite")
+
+    @property
+    def size(self) -> float:
+        """Surface area ``width * height`` (the ``A`` in degree calibration)."""
+        return self.width * self.height
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the rectangle diagonal — an upper bound on any distance."""
+        return float(np.hypot(self.width, self.height))
+
+    def contains(self, positions: np.ndarray) -> np.ndarray:
+        """Vectorised containment test.
+
+        Args:
+            positions: Array of shape ``(n, 2)``.
+
+        Returns:
+            Boolean array of shape ``(n,)``; ``True`` where the point lies in
+            ``[0, width] x [0, height]``.
+        """
+        pts = np.asarray(positions, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise GeometryError(f"expected (n, 2) positions, got shape {pts.shape}")
+        return (
+            (pts[:, 0] >= 0.0)
+            & (pts[:, 0] <= self.width)
+            & (pts[:, 1] >= 0.0)
+            & (pts[:, 1] <= self.height)
+        )
+
+    def clamp(self, positions: np.ndarray) -> np.ndarray:
+        """Return a copy of ``positions`` clamped into the rectangle."""
+        pts = np.array(positions, dtype=float, copy=True)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise GeometryError(f"expected (n, 2) positions, got shape {pts.shape}")
+        np.clip(pts[:, 0], 0.0, self.width, out=pts[:, 0])
+        np.clip(pts[:, 1], 0.0, self.height, out=pts[:, 1])
+        return pts
+
+    @classmethod
+    def paper(cls) -> "Area":
+        """The paper's ``100 x 100`` confined working space."""
+        return cls(100.0, 100.0)

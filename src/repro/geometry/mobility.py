@@ -1,0 +1,166 @@
+"""Mobility models for the maintenance extension.
+
+The paper motivates the dynamic backbone by the cost of maintaining a static
+backbone under mobility but evaluates static snapshots only.  These models
+let :mod:`repro.maintenance` exercise re-clustering and backbone repair under
+movement: the classic **random waypoint** model and a reflecting **random
+walk**.  Both advance an ``(n, 2)`` position array in place-free steps (a new
+array is returned each tick) so histories can be retained cheaply.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GeometryError
+from repro.geometry.area import Area
+from repro.rng import RngLike, ensure_rng
+
+
+def clamp_to_area(positions: np.ndarray, area: Area) -> np.ndarray:
+    """Reflect positions that left ``area`` back inside (billiard reflection).
+
+    A point at ``-x`` maps to ``x``; a point at ``width + x`` maps to
+    ``width - x``.  Multiple reflections are handled by folding.
+    """
+    pts = np.array(positions, dtype=float, copy=True)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise GeometryError(f"expected (n, 2) positions, got shape {pts.shape}")
+    for axis, limit in ((0, area.width), (1, area.height)):
+        x = np.mod(pts[:, axis], 2.0 * limit)
+        pts[:, axis] = np.where(x > limit, 2.0 * limit - x, x)
+    return pts
+
+
+class MobilityModel(abc.ABC):
+    """Base class: owns the area, speed range and RNG stream.
+
+    Subclasses implement :meth:`step`, advancing positions by ``dt``.
+    """
+
+    def __init__(self, area: Optional[Area] = None, rng: RngLike = None) -> None:
+        self.area = area or Area.paper()
+        self.rng = ensure_rng(rng)
+
+    @abc.abstractmethod
+    def step(self, positions: np.ndarray, dt: float) -> np.ndarray:
+        """Return new positions after ``dt`` time units."""
+
+
+class RandomWalk(MobilityModel):
+    """Reflecting random walk: each tick every node picks a fresh heading.
+
+    Args:
+        speed: Distance covered per unit time by every node.
+        area: Working space.
+        rng: Seed or generator.
+    """
+
+    def __init__(self, speed: float = 1.0, area: Optional[Area] = None,
+                 rng: RngLike = None) -> None:
+        super().__init__(area, rng)
+        if speed < 0.0:
+            raise ConfigurationError(f"speed must be >= 0, got {speed}")
+        self.speed = float(speed)
+
+    def step(self, positions: np.ndarray, dt: float) -> np.ndarray:
+        if dt < 0.0:
+            raise ConfigurationError(f"dt must be >= 0, got {dt}")
+        pts = np.asarray(positions, dtype=float)
+        theta = self.rng.uniform(0.0, 2.0 * np.pi, size=pts.shape[0])
+        delta = np.column_stack([np.cos(theta), np.sin(theta)]) * (self.speed * dt)
+        return clamp_to_area(pts + delta, self.area)
+
+
+class RandomWaypoint(MobilityModel):
+    """Random waypoint: travel to a uniform target, pause, pick a new one.
+
+    Per-node state (current target, per-node speed, remaining pause) is kept
+    inside the model, keyed by array row, so the same model instance must be
+    stepped with a consistently-shaped position array.
+
+    Args:
+        speed_range: ``(min, max)`` uniform speed drawn per leg.
+        pause_time: Pause duration at each waypoint.
+        area: Working space.
+        rng: Seed or generator.
+    """
+
+    def __init__(
+        self,
+        speed_range: tuple[float, float] = (0.5, 2.0),
+        pause_time: float = 0.0,
+        area: Optional[Area] = None,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(area, rng)
+        lo, hi = float(speed_range[0]), float(speed_range[1])
+        if not (0.0 < lo <= hi):
+            raise ConfigurationError(f"need 0 < min <= max speed, got {speed_range}")
+        if pause_time < 0.0:
+            raise ConfigurationError(f"pause_time must be >= 0, got {pause_time}")
+        self.speed_range = (lo, hi)
+        self.pause_time = float(pause_time)
+        self._targets: Optional[np.ndarray] = None
+        self._speeds: Optional[np.ndarray] = None
+        self._pause_left: Optional[np.ndarray] = None
+
+    def _init_state(self, n: int) -> None:
+        from repro.geometry.placement import uniform_placement
+
+        self._targets = uniform_placement(n, self.area, self.rng)
+        self._speeds = self.rng.uniform(*self.speed_range, size=n)
+        self._pause_left = np.zeros(n)
+
+    def step(self, positions: np.ndarray, dt: float) -> np.ndarray:
+        if dt < 0.0:
+            raise ConfigurationError(f"dt must be >= 0, got {dt}")
+        pts = np.array(positions, dtype=float, copy=True)
+        n = pts.shape[0]
+        if self._targets is None or self._targets.shape[0] != n:
+            self._init_state(n)
+        assert self._targets is not None and self._speeds is not None
+        assert self._pause_left is not None
+        remaining = np.full(n, float(dt))
+        # Nodes may complete several (pause -> travel) legs within one dt,
+        # so iterate until every node has exhausted its budget.
+        for _ in range(64):
+            active = remaining > 1e-12
+            if not active.any():
+                break
+            pausing = active & (self._pause_left > 0.0)
+            if pausing.any():
+                used = np.minimum(self._pause_left[pausing], remaining[pausing])
+                self._pause_left[pausing] -= used
+                remaining[pausing] -= used
+            moving = active & ~pausing
+            if moving.any():
+                vec = self._targets[moving] - pts[moving]
+                dist = np.hypot(vec[:, 0], vec[:, 1])
+                step_len = self._speeds[moving] * remaining[moving]
+                arrive = step_len >= dist - 1e-12
+                scale = np.where(
+                    arrive, 1.0, np.divide(step_len, np.maximum(dist, 1e-12))
+                )
+                pts[moving] += vec * scale[:, None]
+                time_used = np.where(
+                    arrive,
+                    np.divide(dist, np.maximum(self._speeds[moving], 1e-12)),
+                    remaining[moving],
+                )
+                idx = np.flatnonzero(moving)
+                remaining[idx] -= time_used
+                arrived_idx = idx[arrive]
+                if arrived_idx.size:
+                    self._pause_left[arrived_idx] = self.pause_time
+                    new_targets = self.rng.random((arrived_idx.size, 2))
+                    new_targets[:, 0] *= self.area.width
+                    new_targets[:, 1] *= self.area.height
+                    self._targets[arrived_idx] = new_targets
+                    self._speeds[arrived_idx] = self.rng.uniform(
+                        *self.speed_range, size=arrived_idx.size
+                    )
+        return pts

@@ -1,0 +1,113 @@
+"""Node placement strategies.
+
+The paper places nodes uniformly at random in the confined working space.
+Additional deterministic placements (grid, chain) support worst-case analyses
+— the paper's time-complexity argument uses a monotone-ID chain — and a
+hotspot placement models clustered deployments for robustness testing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.area import Area
+from repro.rng import RngLike, ensure_rng
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise ConfigurationError(f"placement needs n >= 1, got n={n}")
+
+
+def uniform_placement(n: int, area: Optional[Area] = None, rng: RngLike = None) -> np.ndarray:
+    """``n`` i.i.d. uniform positions in ``area`` (the paper's placement)."""
+    _check_n(n)
+    area = area or Area.paper()
+    generator = ensure_rng(rng)
+    pts = generator.random((n, 2))
+    pts[:, 0] *= area.width
+    pts[:, 1] *= area.height
+    return pts
+
+
+def grid_placement(n: int, area: Optional[Area] = None, jitter: float = 0.0,
+                   rng: RngLike = None) -> np.ndarray:
+    """Near-square grid of ``n`` positions, optionally jittered.
+
+    Args:
+        n: Number of nodes.
+        area: Working space.
+        jitter: Uniform perturbation amplitude as a fraction of the cell
+            pitch (``0`` = exact lattice); positions are clamped to the area.
+        rng: Seed or generator (only used when ``jitter > 0``).
+    """
+    _check_n(n)
+    if jitter < 0.0:
+        raise ConfigurationError(f"jitter must be >= 0, got {jitter}")
+    area = area or Area.paper()
+    cols = int(np.ceil(np.sqrt(n)))
+    rows = int(np.ceil(n / cols))
+    xs = (np.arange(cols) + 0.5) * (area.width / cols)
+    ys = (np.arange(rows) + 0.5) * (area.height / rows)
+    xx, yy = np.meshgrid(xs, ys)
+    pts = np.column_stack([xx.ravel(), yy.ravel()])[:n]
+    if jitter > 0.0:
+        generator = ensure_rng(rng)
+        pitch = min(area.width / cols, area.height / rows)
+        pts = pts + generator.uniform(-jitter * pitch, jitter * pitch, size=pts.shape)
+        pts = area.clamp(pts)
+    return pts
+
+
+def chain_placement(n: int, spacing: float, area: Optional[Area] = None) -> np.ndarray:
+    """``n`` collinear positions spaced ``spacing`` apart along the diagonal.
+
+    With a transmission range in ``(spacing, 2 * spacing)`` this realises the
+    paper's worst case for lowest-ID clustering: a chain whose ids are
+    monotone from one end to the other forces ``n`` sequential rounds.
+    The chain runs along the area diagonal so long chains fit.
+    """
+    _check_n(n)
+    if spacing <= 0.0:
+        raise ConfigurationError(f"spacing must be positive, got {spacing}")
+    area = area or Area.paper()
+    length = spacing * (n - 1)
+    if length > area.diagonal:
+        raise ConfigurationError(
+            f"chain of length {length:.1f} does not fit in area diagonal "
+            f"{area.diagonal:.1f}; enlarge the area or reduce spacing"
+        )
+    t = np.arange(n) * spacing / max(area.diagonal, 1e-12)
+    return np.column_stack([t * area.width, t * area.height])
+
+
+def hotspot_placement(
+    n: int,
+    area: Optional[Area] = None,
+    *,
+    hotspots: int = 3,
+    spread: float = 0.08,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Cluster ``n`` positions around ``hotspots`` random centres.
+
+    Models non-uniform deployments (e.g. teams around points of interest).
+    Each node picks a hotspot uniformly and is displaced by an isotropic
+    Gaussian with standard deviation ``spread * min(width, height)``;
+    positions are clamped to the area.
+    """
+    _check_n(n)
+    if hotspots < 1:
+        raise ConfigurationError(f"need >= 1 hotspot, got {hotspots}")
+    if spread <= 0.0:
+        raise ConfigurationError(f"spread must be positive, got {spread}")
+    area = area or Area.paper()
+    generator = ensure_rng(rng)
+    centres = uniform_placement(hotspots, area, generator)
+    choice = generator.integers(0, hotspots, size=n)
+    sigma = spread * min(area.width, area.height)
+    pts = centres[choice] + generator.normal(0.0, sigma, size=(n, 2))
+    return area.clamp(pts)

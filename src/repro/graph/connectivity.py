@@ -1,0 +1,143 @@
+"""Connectivity predicates: components, connectedness, strong connectivity.
+
+The paper discards disconnected random networks, and Theorem 1 rests on the
+*strong* connectivity of the directed cluster graph, so both undirected and
+directed checks live here.  Directed graphs are represented as plain
+``dict[node, set[node]]`` successor maps (the cluster graph is tiny).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Set
+
+from repro.graph.adjacency import Graph
+from repro.types import NodeId
+
+
+class UnionFind:
+    """Disjoint-set forest with path halving and union by size.
+
+    Used by the maintenance extension to track connectivity incrementally as
+    links appear.
+    """
+
+    __slots__ = ("_parent", "_size", "_components")
+
+    def __init__(self, elements: Iterable[NodeId] = ()) -> None:
+        self._parent: Dict[NodeId, NodeId] = {}
+        self._size: Dict[NodeId, int] = {}
+        self._components = 0
+        for e in elements:
+            self.add(e)
+
+    def add(self, e: NodeId) -> None:
+        """Register ``e`` as a singleton set (no-op if present)."""
+        if e not in self._parent:
+            self._parent[e] = e
+            self._size[e] = 1
+            self._components += 1
+
+    def find(self, e: NodeId) -> NodeId:
+        """Representative of ``e``'s set (with path halving)."""
+        parent = self._parent
+        while parent[e] != e:
+            parent[e] = parent[parent[e]]
+            e = parent[e]
+        return e
+
+    def union(self, a: NodeId, b: NodeId) -> bool:
+        """Merge the sets of ``a`` and ``b``; returns ``True`` if they were
+        previously disjoint."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._components -= 1
+        return True
+
+    def connected(self, a: NodeId, b: NodeId) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    @property
+    def num_components(self) -> int:
+        """Current number of disjoint sets."""
+        return self._components
+
+
+def connected_components(graph: Graph) -> List[Set[NodeId]]:
+    """Connected components, each as a node set, largest-first."""
+    seen: Set[NodeId] = set()
+    comps: List[Set[NodeId]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        comp = {start}
+        queue: deque[NodeId] = deque([start])
+        while queue:
+            v = queue.popleft()
+            for w in graph.neighbours_view(v):
+                if w not in comp:
+                    comp.add(w)
+                    queue.append(w)
+        seen |= comp
+        comps.append(comp)
+    comps.sort(key=len, reverse=True)
+    return comps
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (the empty graph counts as connected)."""
+    n = graph.num_nodes
+    if n <= 1:
+        return True
+    start = next(iter(graph))
+    seen = {start}
+    queue: deque[NodeId] = deque([start])
+    while queue:
+        v = queue.popleft()
+        for w in graph.neighbours_view(v):
+            if w not in seen:
+                seen.add(w)
+                queue.append(w)
+    return len(seen) == n
+
+
+def _directed_reach(succ: Mapping[NodeId, Set[NodeId]], start: NodeId) -> Set[NodeId]:
+    seen = {start}
+    queue: deque[NodeId] = deque([start])
+    while queue:
+        v = queue.popleft()
+        for w in succ.get(v, ()):
+            if w not in seen:
+                seen.add(w)
+                queue.append(w)
+    return seen
+
+
+def is_strongly_connected(successors: Mapping[NodeId, Set[NodeId]]) -> bool:
+    """Strong connectivity of a directed graph given as a successor map.
+
+    Every node must appear as a key (possibly with an empty successor set).
+    Uses the classic two-BFS test: all nodes reachable from an arbitrary
+    root in the graph and in its transpose.
+    """
+    nodes = set(successors)
+    for targets in successors.values():
+        stray = targets - nodes
+        if stray:
+            raise KeyError(f"successor {next(iter(stray))} missing from node set")
+    if len(nodes) <= 1:
+        return True
+    root = next(iter(nodes))
+    if _directed_reach(successors, root) != nodes:
+        return False
+    transpose: Dict[NodeId, Set[NodeId]] = {v: set() for v in nodes}
+    for v, targets in successors.items():
+        for w in targets:
+            transpose[w].add(v)
+    return _directed_reach(transpose, root) == nodes

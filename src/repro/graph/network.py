@@ -1,0 +1,116 @@
+"""The :class:`Network` value object: topology + geometry + parameters.
+
+A *network* bundles what the paper's simulation environment produces for one
+sample: node positions in a working area, the shared transmission range, and
+the resulting unit disk graph.  Experiment code passes networks around rather
+than bare graphs so that mobility and re-construction keep the geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.area import Area
+from repro.graph.adjacency import Graph
+from repro.graph.build import unit_disk_graph
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class Network:
+    """An immutable snapshot of a MANET.
+
+    Attributes:
+        graph: The unit disk graph over the node ids.
+        positions: Mapping node id -> ``(x, y)`` position.
+        radius: The common transmission range.
+        area: The working space the nodes live in.
+    """
+
+    graph: Graph
+    positions: Dict[NodeId, tuple[float, float]]
+    radius: float
+    area: Area = field(default_factory=Area.paper)
+    torus: bool = False
+
+    def __post_init__(self) -> None:
+        if set(self.positions) != set(self.graph.nodes()):
+            raise GeometryError("positions and graph must cover the same node ids")
+        if not (self.radius > 0.0):
+            raise GeometryError(f"radius must be positive, got {self.radius}")
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of hosts."""
+        return self.graph.num_nodes
+
+    def position_array(self, order: Optional[Sequence[NodeId]] = None) -> np.ndarray:
+        """Positions as an ``(n, 2)`` array in ``order`` (default: ascending ids)."""
+        ids = list(order) if order is not None else self.graph.nodes()
+        return np.array([self.positions[v] for v in ids], dtype=float)
+
+    def moved(self, new_positions: np.ndarray,
+              order: Optional[Sequence[NodeId]] = None) -> "Network":
+        """A new :class:`Network` with updated positions and a rebuilt graph.
+
+        Args:
+            new_positions: ``(n, 2)`` array aligned with ``order``.
+            order: Node ids corresponding to the rows; defaults to ascending.
+
+        Returns:
+            A fresh network with the same ids, radius and area.
+        """
+        ids = list(order) if order is not None else self.graph.nodes()
+        pts = np.asarray(new_positions, dtype=float)
+        if pts.shape != (len(ids), 2):
+            raise GeometryError(
+                f"expected positions of shape ({len(ids)}, 2), got {pts.shape}"
+            )
+        graph = unit_disk_graph(
+            pts, self.radius, ids=ids,
+            torus=self.area if self.torus else None,
+        )
+        return Network(
+            graph=graph,
+            positions={v: (float(x), float(y)) for v, (x, y) in zip(ids, pts)},
+            radius=self.radius,
+            area=self.area,
+            torus=self.torus,
+        )
+
+    @classmethod
+    def from_positions(
+        cls,
+        positions: np.ndarray,
+        radius: float,
+        *,
+        ids: Optional[Sequence[NodeId]] = None,
+        area: Optional[Area] = None,
+        torus: bool = False,
+    ) -> "Network":
+        """Build a network (graph included) from raw positions.
+
+        Args:
+            positions: ``(n, 2)`` array.
+            radius: Transmission range.
+            ids: Node ids per row (default ``0..n-1``).
+            area: Working space (default the paper's ``100 x 100``).
+            torus: Wrap distances around ``area`` (border-free topology).
+        """
+        pts = np.asarray(positions, dtype=float)
+        resolved_area = area or Area.paper()
+        graph = unit_disk_graph(
+            pts, radius, ids=ids, torus=resolved_area if torus else None
+        )
+        id_list = list(ids) if ids is not None else list(range(pts.shape[0]))
+        return cls(
+            graph=graph,
+            positions={v: (float(x), float(y)) for v, (x, y) in zip(id_list, pts)},
+            radius=radius,
+            area=resolved_area,
+            torus=torus,
+        )

@@ -1,0 +1,45 @@
+"""Bridge to :mod:`networkx`.
+
+The library's own :class:`~repro.graph.adjacency.Graph` keeps the core free
+of heavyweight dependencies, but users analysing backbones will often want
+networkx.  Import of networkx is deferred so the core works without it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.graph.adjacency import Graph
+
+if TYPE_CHECKING:  # pragma: no cover
+    import networkx as nx
+
+
+def to_networkx(graph: Graph) -> "nx.Graph":
+    """Convert to an undirected :class:`networkx.Graph` with the same ids."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(graph.nodes())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def from_networkx(nx_graph: "nx.Graph") -> Graph:
+    """Convert an undirected networkx graph with integer node ids.
+
+    Raises:
+        TypeError: if any node id is not an integer (the library's ordering
+            semantics need ints).
+    """
+    g = Graph()
+    for v in nx_graph.nodes():
+        if not isinstance(v, (int,)) or isinstance(v, bool):
+            raise TypeError(
+                f"node ids must be integers for lowest-ID semantics, got {v!r}"
+            )
+        g.add_node(int(v))
+    for u, v in nx_graph.edges():
+        if u != v:  # drop self-loops rather than erroring on import
+            g.add_edge(int(u), int(v))
+    return g

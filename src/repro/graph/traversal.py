@@ -1,0 +1,115 @@
+"""Breadth-first traversals: distances, k-hop neighbourhoods, paths.
+
+These primitives back the coverage-set computations.  The paper writes
+``N^k(v)`` for the k-hop neighbour set *including v itself*;
+:func:`k_hop_neighbourhood` follows that convention.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set
+
+from repro.errors import NodeNotFoundError
+from repro.graph.adjacency import Graph
+from repro.types import NodeId, Path
+
+
+def bfs_distances(graph: Graph, source: NodeId,
+                  max_depth: Optional[int] = None) -> Dict[NodeId, int]:
+    """Hop distances from ``source`` to every reachable node.
+
+    Args:
+        graph: The graph.
+        source: Start node.
+        max_depth: If given, stop exploring past this depth (distances in the
+            result are then ``<= max_depth``).
+
+    Returns:
+        Mapping node -> hop distance (``source`` maps to 0).  Unreachable
+        nodes are absent.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    dist: Dict[NodeId, int] = {source: 0}
+    queue: deque[NodeId] = deque([source])
+    while queue:
+        v = queue.popleft()
+        d = dist[v]
+        if max_depth is not None and d >= max_depth:
+            continue
+        for w in graph.neighbours_view(v):
+            if w not in dist:
+                dist[w] = d + 1
+                queue.append(w)
+    return dist
+
+
+def bfs_tree(graph: Graph, source: NodeId) -> Dict[NodeId, Optional[NodeId]]:
+    """BFS parent pointers from ``source`` (source maps to ``None``)."""
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    parent: Dict[NodeId, Optional[NodeId]] = {source: None}
+    queue: deque[NodeId] = deque([source])
+    while queue:
+        v = queue.popleft()
+        for w in graph.neighbours_view(v):
+            if w not in parent:
+                parent[w] = v
+                queue.append(w)
+    return parent
+
+
+def k_hop_neighbourhood(graph: Graph, v: NodeId, k: int) -> Set[NodeId]:
+    """The paper's ``N^k(v)``: all nodes within ``k`` hops, including ``v``."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    return set(bfs_distances(graph, v, max_depth=k))
+
+
+def nodes_at_distance(graph: Graph, v: NodeId, k: int) -> Set[NodeId]:
+    """Nodes at hop distance **exactly** ``k`` from ``v``."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    dist = bfs_distances(graph, v, max_depth=k)
+    return {w for w, d in dist.items() if d == k}
+
+
+def shortest_path(graph: Graph, source: NodeId, target: NodeId) -> Optional[Path]:
+    """A shortest path from ``source`` to ``target`` (BFS; ties broken by
+    neighbour iteration order made deterministic via sorting).
+
+    Returns:
+        The node sequence including both endpoints, or ``None`` if
+        unreachable.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    if target not in graph:
+        raise NodeNotFoundError(target)
+    if source == target:
+        return [source]
+    parent: Dict[NodeId, Optional[NodeId]] = {source: None}
+    queue: deque[NodeId] = deque([source])
+    while queue:
+        v = queue.popleft()
+        for w in sorted(graph.neighbours_view(v)):
+            if w in parent:
+                continue
+            parent[w] = v
+            if w == target:
+                path: List[NodeId] = [w]
+                cur: Optional[NodeId] = v
+                while cur is not None:
+                    path.append(cur)
+                    cur = parent[cur]
+                path.reverse()
+                return path
+            queue.append(w)
+    return None
+
+
+def eccentricity(graph: Graph, v: NodeId) -> int:
+    """Greatest hop distance from ``v`` to any reachable node."""
+    dist = bfs_distances(graph, v)
+    return max(dist.values())

@@ -1,0 +1,14 @@
+"""Serialisation: networks to/from JSON, experiment results to files."""
+
+from repro.io.network_json import load_network, save_network
+from repro.io.results import tables_to_csv, tables_to_json, tables_to_markdown
+from repro.io.trace_json import trace_to_json
+
+__all__ = [
+    "save_network",
+    "load_network",
+    "tables_to_csv",
+    "tables_to_json",
+    "tables_to_markdown",
+    "trace_to_json",
+]

@@ -1,0 +1,68 @@
+"""Network snapshots as JSON documents.
+
+The format is versioned and self-contained (positions, radius, area), so a
+saved sample can be re-analysed later or shared as a repro case.  The graph
+is not stored — it is recomputed from positions and radius, which keeps the
+file canonical (an inconsistent adjacency cannot be expressed).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ConfigurationError
+from repro.geometry.area import Area
+from repro.graph.network import Network
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def save_network(network: Network, path: PathLike) -> None:
+    """Write ``network`` to ``path`` as JSON."""
+    doc = {
+        "format": "repro-network",
+        "version": FORMAT_VERSION,
+        "radius": network.radius,
+        "area": {"width": network.area.width, "height": network.area.height},
+        "nodes": [
+            {"id": v, "x": x, "y": y}
+            for v, (x, y) in sorted(network.positions.items())
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2))
+
+
+def load_network(path: PathLike) -> Network:
+    """Read a network previously written by :func:`save_network`.
+
+    Raises:
+        ConfigurationError: on an unrecognised or malformed document.
+    """
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path}: not valid JSON: {exc}") from exc
+    if doc.get("format") != "repro-network":
+        raise ConfigurationError(f"{path}: not a repro network document")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"{path}: unsupported version {doc.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        area = Area(float(doc["area"]["width"]), float(doc["area"]["height"]))
+        nodes = doc["nodes"]
+        ids = [int(rec["id"]) for rec in nodes]
+        positions = [(float(rec["x"]), float(rec["y"])) for rec in nodes]
+        radius = float(doc["radius"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{path}: malformed network document: {exc}") from exc
+    import numpy as np
+
+    return Network.from_positions(
+        np.array(positions, dtype=float), radius, ids=ids, area=area
+    )

@@ -1,0 +1,71 @@
+"""Experiment results as CSV / JSON files."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.metrics.series import SeriesTable
+
+PathLike = Union[str, Path]
+
+_FIELDS = ["table", "series", "n", "mean", "half_width", "confidence", "samples"]
+
+
+def tables_to_csv(tables: Iterable[SeriesTable], path: PathLike) -> int:
+    """Write the flattened records of ``tables`` as CSV.
+
+    Returns:
+        The number of data rows written.
+    """
+    records: List[dict] = []
+    for table in tables:
+        records.extend(table.to_records())
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_FIELDS)
+        writer.writeheader()
+        for rec in records:
+            writer.writerow({k: rec.get(k, "") for k in _FIELDS})
+    return len(records)
+
+
+def tables_to_json(tables: Iterable[SeriesTable], path: PathLike) -> int:
+    """Write the flattened records of ``tables`` as a JSON array.
+
+    Returns:
+        The number of records written.
+    """
+    records: List[dict] = []
+    for table in tables:
+        records.extend(table.to_records())
+    Path(path).write_text(json.dumps(records, indent=2))
+    return len(records)
+
+
+def tables_to_markdown(tables: Iterable[SeriesTable],
+                       path: PathLike) -> int:
+    """Write each table as a GitHub-flavoured markdown table.
+
+    Returns:
+        The number of tables written.
+    """
+    blocks: List[str] = []
+    count = 0
+    for table in tables:
+        count += 1
+        xs = sorted({x for s in table.series for x in s.xs()})
+        header = [table.x_label] + [s.label for s in table.series]
+        lines = [f"### {table.title}", ""]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "|".join("---" for _ in header) + "|")
+        for x in xs:
+            row = [f"{x:g}"]
+            for s_ in table.series:
+                point = next((p for p in s_.points if p.x == x), None)
+                row.append("-" if point is None else f"{point.mean:.2f}")
+            lines.append("| " + " | ".join(row) + " |")
+        blocks.append("\n".join(lines))
+    Path(path).write_text("\n\n".join(blocks) + "\n")
+    return count

@@ -1,0 +1,57 @@
+"""Export simulator transmission traces as JSON.
+
+Turns a :class:`~repro.sim.trace.TraceRecorder` into a machine-readable
+document (one record per transmission with the message type and payload
+summary) so external tools — plotters, protocol analysers, diff tools —
+can consume the exact on-air history of a run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.sim.trace import TraceRecorder
+
+PathLike = Union[str, Path]
+
+
+def _jsonable(value):
+    """Convert message payload values to JSON-encodable forms."""
+    if isinstance(value, frozenset):
+        return sorted(value, key=repr)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def trace_to_json(trace: TraceRecorder, path: PathLike) -> int:
+    """Write ``trace`` to ``path``; returns the number of records written."""
+    records = []
+    for entry in trace.entries:
+        payload = {
+            k: _jsonable(v)
+            for k, v in dataclasses.asdict(entry.message).items()
+        }
+        records.append(
+            {
+                "time": entry.time,
+                "sender": entry.sender,
+                "type": type(entry.message).__name__,
+                "size": entry.message.size(),
+                "payload": payload,
+            }
+        )
+    doc = {
+        "format": "repro-trace",
+        "version": 1,
+        "total_messages": trace.total_messages,
+        "total_volume": trace.total_volume,
+        "transmissions": records,
+    }
+    Path(path).write_text(json.dumps(doc, indent=2))
+    return len(records)

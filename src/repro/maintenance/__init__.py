@@ -1,0 +1,36 @@
+"""Backbone maintenance under mobility (extension).
+
+The paper motivates the dynamic backbone by the cost of keeping a static
+backbone fresh in a mobile network but evaluates static snapshots only.
+This package makes the argument measurable: drive a network with a mobility
+model, re-derive clustering/backbone each tick, and account the churn —
+role flips, head reassignments, gateway turnover and the number of
+clusterheads whose coverage sets changed (i.e. how much of the CH_HOP /
+GATEWAY signalling would have to be repeated).
+"""
+
+from repro.maintenance.stability import (
+    BackboneChurn,
+    ClusterChurn,
+    backbone_churn,
+    cluster_churn,
+)
+from repro.maintenance.incremental import (
+    IncrementalLowestIdClustering,
+    RepairSummary,
+)
+from repro.maintenance.live import LiveEpochReport, LiveMaintenanceSession
+from repro.maintenance.session import MaintenanceReport, MobilitySession
+
+__all__ = [
+    "ClusterChurn",
+    "BackboneChurn",
+    "cluster_churn",
+    "backbone_churn",
+    "MobilitySession",
+    "MaintenanceReport",
+    "IncrementalLowestIdClustering",
+    "RepairSummary",
+    "LiveMaintenanceSession",
+    "LiveEpochReport",
+]

@@ -1,0 +1,152 @@
+"""Incremental lowest-ID clustering maintenance (extension).
+
+A live MANET does not re-cluster from scratch on every link event.  The
+lowest-ID fixpoint — ``is_head(v) ⇔ no neighbour u < v is a head`` — depends
+only on *smaller-id* neighbours, so a single link change can be repaired by
+re-evaluating affected nodes in ascending id order: a flip at ``v`` can only
+influence neighbours with larger ids, which a min-heap worklist processes
+after every smaller pending node has settled.
+
+:class:`IncrementalLowestIdClustering` maintains the clustering under edge
+insertions/removals, reports per-event repair statistics (how *local* the
+repair was), and is property-tested to agree with a from-scratch
+recomputation after every event.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set
+
+from repro.cluster.state import ClusterStructure
+from repro.errors import NodeNotFoundError
+from repro.graph.adjacency import Graph
+from repro.types import NodeId
+
+
+@dataclass(frozen=True, slots=True)
+class RepairSummary:
+    """What one link event's repair touched.
+
+    Attributes:
+        reevaluated: Nodes whose head-decision rule was re-run.
+        flipped: Nodes whose clusterhead status changed.
+        reassigned: Members whose clusterhead changed (role unchanged).
+    """
+
+    reevaluated: FrozenSet[NodeId]
+    flipped: FrozenSet[NodeId]
+    reassigned: FrozenSet[NodeId]
+
+    @property
+    def touched(self) -> int:
+        """Total distinct nodes involved in the repair."""
+        return len(self.reevaluated | self.flipped | self.reassigned)
+
+
+class IncrementalLowestIdClustering:
+    """Maintain a lowest-ID clustering across single-link events.
+
+    The instance owns a private copy of the graph; mutate it only through
+    :meth:`add_edge` / :meth:`remove_edge`.
+
+    Args:
+        graph: Initial topology (copied).
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph.copy()
+        self._is_head: Dict[NodeId, bool] = {}
+        self._head_of: Dict[NodeId, NodeId] = {}
+        for v in self._graph.nodes():  # ascending: the sequential rule
+            self._evaluate_head(v)
+        for v in self._graph.nodes():  # assignment needs all head flags
+            self._assign(v)
+
+    # -- state access ----------------------------------------------------------
+
+    @property
+    def graph(self) -> Graph:
+        """The maintained topology (do not mutate directly)."""
+        return self._graph
+
+    def structure(self) -> ClusterStructure:
+        """Snapshot the current clustering."""
+        return ClusterStructure(graph=self._graph.copy(),
+                                head_of=dict(self._head_of))
+
+    def is_clusterhead(self, v: NodeId) -> bool:
+        """Whether ``v`` currently heads a cluster."""
+        return self._is_head[v]
+
+    # -- core rules --------------------------------------------------------------
+
+    def _desired_head(self, v: NodeId) -> bool:
+        return not any(
+            u < v and self._is_head[u]
+            for u in self._graph.neighbours_view(v)
+        )
+
+    def _evaluate_head(self, v: NodeId) -> None:
+        self._is_head[v] = self._desired_head(v)
+
+    def _assign(self, v: NodeId) -> None:
+        if self._is_head[v]:
+            self._head_of[v] = v
+        else:
+            heads = [
+                u for u in self._graph.neighbours_view(v) if self._is_head[u]
+            ]
+            # The fixpoint guarantees a non-head has a head neighbour.
+            self._head_of[v] = min(heads)
+
+    # -- repair ---------------------------------------------------------------
+
+    def _repair(self, seeds: Set[NodeId]) -> RepairSummary:
+        reevaluated: Set[NodeId] = set()
+        flipped: Set[NodeId] = set()
+        dirty_assignment: Set[NodeId] = set(seeds)
+        heap = sorted(seeds)
+        heapq.heapify(heap)
+        pending = set(heap)
+        while heap:
+            v = heapq.heappop(heap)
+            pending.discard(v)
+            reevaluated.add(v)
+            desired = self._desired_head(v)
+            if desired == self._is_head[v]:
+                continue
+            self._is_head[v] = desired
+            flipped.add(v)
+            dirty_assignment.add(v)
+            for w in self._graph.neighbours_view(v):
+                dirty_assignment.add(w)  # their min-head may change
+                if w > v and w not in pending:
+                    heapq.heappush(heap, w)
+                    pending.add(w)
+        reassigned: Set[NodeId] = set()
+        for v in sorted(dirty_assignment):
+            before = self._head_of[v]
+            self._assign(v)
+            if self._head_of[v] != before and v not in flipped:
+                reassigned.add(v)
+        return RepairSummary(
+            reevaluated=frozenset(reevaluated),
+            flipped=frozenset(flipped),
+            reassigned=frozenset(reassigned),
+        )
+
+    def add_edge(self, u: NodeId, v: NodeId) -> RepairSummary:
+        """Insert link ``{u, v}`` and repair the clustering."""
+        if u not in self._graph:
+            raise NodeNotFoundError(u)
+        if v not in self._graph:
+            raise NodeNotFoundError(v)
+        self._graph.add_edge(u, v)
+        return self._repair({u, v})
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> RepairSummary:
+        """Remove link ``{u, v}`` and repair the clustering."""
+        self._graph.remove_edge(u, v)
+        return self._repair({u, v})

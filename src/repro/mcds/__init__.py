@@ -1,0 +1,21 @@
+"""Minimum-CDS reference implementations.
+
+Finding a minimum connected dominating set is NP-complete (also on unit disk
+graphs), so the paper argues about *constant approximation ratios*.  This
+package provides an exact branch-and-bound solver for small instances, the
+classic Guha–Khuller greedy approximation for larger ones, and the empirical
+approximation-ratio study that checks the constant-ratio claim on sampled
+networks.
+"""
+
+from repro.mcds.exact import exact_mcds, mcds_size_lower_bound
+from repro.mcds.greedy import greedy_cds
+from repro.mcds.ratio import RatioSample, approximation_ratio_study
+
+__all__ = [
+    "exact_mcds",
+    "mcds_size_lower_bound",
+    "greedy_cds",
+    "RatioSample",
+    "approximation_ratio_study",
+]

@@ -1,0 +1,97 @@
+"""Exact minimum connected dominating set for small graphs.
+
+Search strategy: iterate candidate sizes ``k`` upward from a simple lower
+bound to a greedy upper bound; for each ``k`` enumerate node subsets in a
+connectivity-aware order and test the CDS predicate.  Pure enumeration is
+exponential, so the solver refuses graphs beyond ``max_nodes`` (default 24)
+— enough for the approximation-ratio study, whose samples are small by
+design.
+
+Two easy prunes make mid-size instances (n ≈ 20) practical:
+
+* subsets are built only from non-leaf nodes when the graph has >= 2 nodes
+  and some non-leaf dominates every leaf's neighbourhood — concretely, a
+  leaf can always be swapped for its unique neighbour in any CDS, so leaves
+  need never be enumerated (unless the graph is a single edge);
+* a frequency lower bound: every node must be dominated, and a node of
+  degree ``Δ`` dominates at most ``Δ + 1`` nodes, so ``k >= n / (Δ + 1)``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, List, Optional
+
+from repro.errors import ConfigurationError, DisconnectedGraphError
+from repro.graph.adjacency import Graph
+from repro.graph.connectivity import is_connected
+from repro.graph.properties import is_connected_dominating_set
+from repro.mcds.greedy import greedy_cds
+from repro.types import NodeId
+
+
+def mcds_size_lower_bound(graph: Graph) -> int:
+    """``ceil(n / (Δ + 1))`` — the domination-counting lower bound."""
+    n = graph.num_nodes
+    if n == 0:
+        return 0
+    delta = max(graph.degree(v) for v in graph)
+    return -(-n // (delta + 1))  # ceil division
+
+
+def exact_mcds(graph: Graph, *, max_nodes: int = 24) -> FrozenSet[NodeId]:
+    """An exact minimum CDS of a connected graph.
+
+    Args:
+        graph: A connected graph with at least one node.
+        max_nodes: Refuse larger instances (enumeration is exponential).
+
+    Returns:
+        A minimum-size CDS (one witness; minima need not be unique).
+
+    Raises:
+        ConfigurationError: if the graph exceeds ``max_nodes``.
+        DisconnectedGraphError: if the graph is not connected.
+    """
+    n = graph.num_nodes
+    if n > max_nodes:
+        raise ConfigurationError(
+            f"exact MCDS limited to {max_nodes} nodes, got {n} "
+            f"(use greedy_cds for larger graphs)"
+        )
+    if n == 0:
+        return frozenset()
+    if not is_connected(graph):
+        raise DisconnectedGraphError("exact MCDS requires a connected graph")
+    if n == 1:
+        return frozenset(graph.nodes())
+    if n == 2:
+        return frozenset([min(graph.nodes())])
+
+    # A leaf's unique neighbour dominates the leaf and everything the leaf
+    # dominates, so some minimum CDS avoids all leaves (n >= 3 here).
+    candidates: List[NodeId] = [v for v in graph.nodes() if graph.degree(v) > 1]
+    if not candidates:  # pragma: no cover - impossible for connected n >= 3
+        candidates = graph.nodes()
+
+    upper = greedy_cds(graph)
+    best: FrozenSet[NodeId] = frozenset(upper)
+    lower = mcds_size_lower_bound(graph)
+    for k in range(lower, len(best)):
+        found = _find_cds_of_size(graph, candidates, k)
+        if found is not None:
+            return found
+    return best
+
+
+def _find_cds_of_size(
+    graph: Graph, candidates: List[NodeId], k: int
+) -> Optional[FrozenSet[NodeId]]:
+    """First CDS of exactly size ``k`` drawn from ``candidates``, else None."""
+    if k <= 0 or k > len(candidates):
+        return None
+    for combo in combinations(candidates, k):
+        subset = frozenset(combo)
+        if is_connected_dominating_set(graph, subset):
+            return subset
+    return None

@@ -1,0 +1,28 @@
+"""Statistics for the experiment harness.
+
+The paper's stopping rule — "repeat the simulation until the 99% confidence
+interval of the result is within ±5%" — lives here as
+:class:`~repro.metrics.confidence.SequentialEstimator`, alongside confidence
+interval maths, series containers and plain-text table rendering for the
+benchmark output.
+"""
+
+from repro.metrics.confidence import (
+    ConfidenceInterval,
+    SequentialEstimator,
+    confidence_interval,
+)
+from repro.metrics.series import ExperimentPoint, ExperimentSeries, SeriesTable
+from repro.metrics.stats import Summary, linear_fit, summary
+
+__all__ = [
+    "Summary",
+    "linear_fit",
+    "ConfidenceInterval",
+    "confidence_interval",
+    "SequentialEstimator",
+    "ExperimentPoint",
+    "ExperimentSeries",
+    "SeriesTable",
+    "summary",
+]

@@ -1,0 +1,70 @@
+"""Small summary-statistics helpers shared by benches and analyses."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+
+def summary(values: Sequence[float]) -> Summary:
+    """Summary statistics of ``values`` (sample standard deviation)."""
+    n = len(values)
+    if n == 0:
+        raise ConfigurationError("cannot summarise an empty sample")
+    ordered = sorted(float(v) for v in values)
+    mean = sum(ordered) / n
+    var = sum((v - mean) ** 2 for v in ordered) / (n - 1) if n > 1 else 0.0
+    mid = n // 2
+    median = ordered[mid] if n % 2 else 0.5 * (ordered[mid - 1] + ordered[mid])
+    return Summary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        median=median,
+    )
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float, float]:
+    """Least-squares line ``y = a*x + b`` plus the coefficient of determination.
+
+    Used by the complexity benches to verify the O(n) message-count claim:
+    a near-1 R² for a linear fit (and a clearly better one than for a
+    quadratic-through-origin alternative) supports linearity.
+
+    Returns:
+        ``(slope, intercept, r_squared)``.
+    """
+    n = len(xs)
+    if n != len(ys):
+        raise ConfigurationError("xs and ys must have the same length")
+    if n < 2:
+        raise ConfigurationError("need at least two points to fit a line")
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    if sxx == 0.0:
+        raise ConfigurationError("degenerate fit: all x values identical")
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = my - slope * mx
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - my) ** 2 for y in ys)
+    r2 = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return slope, intercept, r2

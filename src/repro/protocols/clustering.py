@@ -1,0 +1,105 @@
+"""Phase 2: distributed lowest-ID clustering.
+
+Each candidate waits until every *smaller-id* neighbour has declared
+(CLUSTER_HEAD or NON_CLUSTER_HEAD).  At that moment the head neighbours it
+will ever have are known (a head neighbour of a candidate always has a
+smaller id), so the candidate either joins the smallest-id head neighbour or
+declares itself a head.  Exactly one declaration message per node — the
+paper's O(n) clustering communication — and on the monotone-id chain the
+declarations ripple one hop per time unit, realising the O(n)-round worst
+case.
+
+The fixpoint equals :func:`repro.cluster.lowest_id.lowest_id_clustering`
+(property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.cluster.state import ClusterStructure
+from repro.errors import ProtocolError
+from repro.protocols.hello import NEIGHBOURS
+from repro.sim.messages import ClusterHead, Message, NonClusterHead
+from repro.sim.network import SimNetwork
+from repro.sim.node import SimNode
+from repro.types import NodeId, NodeRole
+
+ROLE = "cluster.role"
+HEAD = "cluster.head"
+DECIDED = "cluster.decided"  #: neighbour -> (role, head) as heard on the air
+
+
+class DistributedLowestIdClustering:
+    """Message-driven lowest-ID clustering.
+
+    Requires :class:`~repro.protocols.hello.HelloProtocol` to have completed
+    (nodes must know their neighbour ids).
+    """
+
+    def __init__(self, network: SimNetwork) -> None:
+        self.network = network
+        for node in network:
+            if NEIGHBOURS not in node.state:
+                raise ProtocolError(
+                    f"node {node.id}: HELLO phase must run before clustering"
+                )
+            node.state[ROLE] = NodeRole.CANDIDATE
+            node.state[HEAD] = None
+            node.state[DECIDED] = {}
+            node.on(ClusterHead, self._on_declaration)
+            node.on(NonClusterHead, self._on_declaration)
+
+    def start(self) -> None:
+        """Let every node evaluate its decision rule at time 0."""
+        for node in self.network:
+            self.network.sim.schedule(
+                0.0, lambda n=node: self._maybe_decide(n), priority=(node.id,)
+            )
+
+    # -- protocol logic ------------------------------------------------------
+
+    def _on_declaration(self, node: SimNode, sender: NodeId, message: Message) -> None:
+        decided: Dict[NodeId, tuple] = node.state[DECIDED]  # type: ignore[assignment]
+        if isinstance(message, ClusterHead):
+            decided[sender] = (NodeRole.CLUSTERHEAD, sender)
+        elif isinstance(message, NonClusterHead):
+            decided[sender] = (NodeRole.MEMBER, message.head)
+        self._maybe_decide(node)
+
+    def _maybe_decide(self, node: SimNode) -> None:
+        if node.state[ROLE] is not NodeRole.CANDIDATE:
+            return
+        neighbours: Set[NodeId] = node.state[NEIGHBOURS]  # type: ignore[assignment]
+        decided: Dict[NodeId, tuple] = node.state[DECIDED]  # type: ignore[assignment]
+        if any(u < node.id and u not in decided for u in neighbours):
+            return  # a smaller-id neighbour is still undecided
+        head_neighbours = [
+            u for u, (role, _h) in decided.items() if role is NodeRole.CLUSTERHEAD
+        ]
+        if head_neighbours:
+            head = min(head_neighbours)
+            node.state[ROLE] = NodeRole.MEMBER
+            node.state[HEAD] = head
+            node.send(NonClusterHead(origin=node.id, head=head))
+        else:
+            node.state[ROLE] = NodeRole.CLUSTERHEAD
+            node.state[HEAD] = node.id
+            node.send(ClusterHead(origin=node.id))
+
+    # -- extraction ----------------------------------------------------------
+
+    def result(self) -> ClusterStructure:
+        """Assemble the global cluster structure after the phase completed.
+
+        Raises:
+            ProtocolError: if any node is still undecided (phase incomplete).
+        """
+        head_of: Dict[NodeId, NodeId] = {}
+        for node in self.network:
+            role = node.state[ROLE]
+            head: Optional[NodeId] = node.state[HEAD]  # type: ignore[assignment]
+            if role is NodeRole.CANDIDATE or head is None:
+                raise ProtocolError(f"node {node.id} never decided its role")
+            head_of[node.id] = head
+        return ClusterStructure(graph=self.network.graph, head_of=head_of)

@@ -1,0 +1,110 @@
+"""Phase 4: GATEWAY designation (static backbone only).
+
+Each clusterhead runs the greedy selection over the coverage set it gathered
+and floods a GATEWAY message with TTL=2: selected nodes mark themselves
+gateways, and a selected node forwards the message (decremented TTL) so the
+second-hop relays of 3-hop targets are informed too.  Only selected nodes
+forward, so the phase costs one message per head plus at most one per
+selected first-hop gateway — O(n) overall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, FrozenSet, Set
+
+from repro.backbone.gateway_selection import GatewaySelection, select_gateways
+from repro.errors import ProtocolError
+from repro.protocols.clustering import ROLE
+from repro.protocols.coverage import CoverageExchangeProtocol
+from repro.sim.messages import Gateway, Message
+from repro.sim.network import SimNetwork
+from repro.sim.node import SimNode
+from repro.types import NodeId, NodeRole
+
+IS_GATEWAY = "gateway.selected"       #: bool: designated by some head
+SELECTED_BY = "gateway.selected_by"   #: set of heads that designated us
+FORWARDED = "gateway.forwarded"       #: GATEWAY origins already forwarded
+
+
+class GatewayDesignationProtocol:
+    """Message-driven gateway designation.
+
+    Args:
+        network: The simulated network.
+        coverage: The completed coverage-exchange phase (selection inputs).
+    """
+
+    def __init__(self, network: SimNetwork,
+                 coverage: CoverageExchangeProtocol) -> None:
+        self.network = network
+        self.coverage = coverage
+        self.selections: Dict[NodeId, GatewaySelection] = {}
+        for node in network:
+            node.state[IS_GATEWAY] = False
+            node.state[SELECTED_BY] = set()
+            node.state[FORWARDED] = set()
+            node.on(Gateway, self._on_gateway)
+
+    def start(self) -> None:
+        """Heads select gateways and send GATEWAY at time 0."""
+        for node in self.network:
+            if node.state.get(ROLE) is not NodeRole.CLUSTERHEAD:
+                continue
+            self.network.sim.schedule(
+                0.0, lambda n=node: self._head_designate(n), priority=(node.id,)
+            )
+
+    def _head_designate(self, node: SimNode) -> None:
+        cov = self.coverage.coverage_set_of(node.id)
+        selection = select_gateways(cov)
+        self.selections[node.id] = selection
+        node.send(
+            Gateway(origin=node.id, selected=selection.gateways, ttl=2)
+        )
+
+    def _on_gateway(self, node: SimNode, sender: NodeId, message: Message) -> None:
+        assert isinstance(message, Gateway)
+        if node.id not in message.selected:
+            return
+        node.state[IS_GATEWAY] = True
+        selected_by: Set[NodeId] = node.state[SELECTED_BY]  # type: ignore[assignment]
+        selected_by.add(message.origin)
+        remaining_ttl = message.ttl - 1
+        forwarded: Set[NodeId] = node.state[FORWARDED]  # type: ignore[assignment]
+        if remaining_ttl > 0 and message.origin not in forwarded:
+            forwarded.add(message.origin)
+            node.send(replace(message, ttl=remaining_ttl))
+
+    # -- extraction ------------------------------------------------------------
+
+    def gateway_nodes(self) -> FrozenSet[NodeId]:
+        """All nodes that marked themselves gateways."""
+        return frozenset(
+            node.id for node in self.network if node.state.get(IS_GATEWAY)
+        )
+
+    def backbone_nodes(self) -> FrozenSet[NodeId]:
+        """Clusterheads plus designated gateways — the distributed SI-CDS."""
+        heads = frozenset(
+            node.id for node in self.network
+            if node.state.get(ROLE) is NodeRole.CLUSTERHEAD
+        )
+        return heads | self.gateway_nodes()
+
+    def check_designation_complete(self) -> None:
+        """Verify every selected node actually heard its designation.
+
+        Raises:
+            ProtocolError: if the TTL-2 flood failed to reach a selected node
+                (cannot happen on correct selections — all selected nodes lie
+                within 2 hops of the selecting head).
+        """
+        designated = self.gateway_nodes()
+        for head, selection in self.selections.items():
+            missing = selection.gateways - designated
+            if missing:
+                raise ProtocolError(
+                    f"head {head}: selected gateways {sorted(missing)} never "
+                    f"heard their GATEWAY designation"
+                )

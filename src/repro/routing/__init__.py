@@ -1,0 +1,20 @@
+"""Unicast routing over the cluster backbone (extension).
+
+The paper frames the backbone as general infrastructure — its Section 2
+discusses CBRP, a *routing* protocol over the same cluster structure.  This
+package provides the routing view: a source routes to its clusterhead, the
+packet follows cluster-graph hops (each expanded through the selecting
+head's gateway connectors), and descends to the target from the target's
+clusterhead.  Path-stretch analysis quantifies the detour relative to the
+true shortest path — small in practice, bounded by construction.
+"""
+
+from repro.routing.cluster_routing import RouteFailure, backbone_route
+from repro.routing.stretch import RouteStretchReport, route_stretch_study
+
+__all__ = [
+    "backbone_route",
+    "RouteFailure",
+    "route_stretch_study",
+    "RouteStretchReport",
+]

@@ -1,0 +1,141 @@
+"""Cluster-based unicast routing.
+
+Route construction (CBRP-flavoured, using this library's structures):
+
+1. ascend: the source hands the packet to its clusterhead (one hop at
+   most — every node is adjacent to its head);
+2. traverse: BFS over the **cluster graph** from the source's head to the
+   target's head; each head-to-head hop expands to the connector path (one
+   or two gateways) the selecting head's gateway selection already provides;
+3. descend: the target's clusterhead delivers to the target (one hop).
+
+The raw route is then **smoothed**: a greedy shortcut pass repeatedly jumps
+from each position to the farthest later node it is directly linked to,
+removing the detours the cluster abstraction introduces (e.g. ascending to
+a head when the neighbour was already on the path).
+
+All relay nodes of a route (everything strictly between source and target)
+belong to the static backbone — routing rides exactly the infrastructure
+the paper builds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.backbone.static_backbone import Backbone
+from repro.errors import BroadcastError, NodeNotFoundError, ReproError
+from repro.types import NodeId
+
+
+class RouteFailure(ReproError):
+    """No route exists between the endpoints (disconnected clusters)."""
+
+
+def _cluster_path(backbone: Backbone, from_head: NodeId,
+                  to_head: NodeId) -> List[Tuple[NodeId, Tuple[NodeId, ...]]]:
+    """BFS over the cluster graph; returns [(head, connector-from-parent)].
+
+    The first entry is ``(from_head, ())``; each subsequent entry carries
+    the gateway path from the previous head.
+    """
+    parent: Dict[NodeId, Optional[Tuple[NodeId, Tuple[NodeId, ...]]]] = {
+        from_head: None
+    }
+    queue: deque[NodeId] = deque([from_head])
+    while queue:
+        head = queue.popleft()
+        if head == to_head:
+            break
+        selection = backbone.selections[head]
+        for child in sorted(selection.connectors):
+            if child not in parent:
+                parent[child] = (head, selection.connectors[child])
+                queue.append(child)
+    if to_head not in parent:
+        raise RouteFailure(
+            f"no cluster path from head {from_head} to head {to_head}"
+        )
+    chain: List[Tuple[NodeId, Tuple[NodeId, ...]]] = []
+    cur: Optional[NodeId] = to_head
+    while cur is not None:
+        entry = parent[cur]
+        if entry is None:
+            chain.append((cur, ()))
+            cur = None
+        else:
+            chain.append((cur, entry[1]))
+            cur = entry[0]
+    chain.reverse()
+    return chain
+
+
+def _smooth(graph, path: List[NodeId]) -> List[NodeId]:
+    """Greedy shortcutting: from each hop, jump to the farthest neighbour."""
+    if len(path) <= 2:
+        return path
+    out = [path[0]]
+    i = 0
+    while i < len(path) - 1:
+        current = path[i]
+        best = i + 1
+        for j in range(len(path) - 1, i, -1):
+            if graph.has_edge(current, path[j]):
+                best = j
+                break
+        out.append(path[best])
+        i = best
+    return out
+
+
+def backbone_route(backbone: Backbone, source: NodeId,
+                   target: NodeId) -> List[NodeId]:
+    """A source-to-target route riding the static backbone.
+
+    Args:
+        backbone: The static backbone (its selections define the cluster
+            links used for traversal).
+        source: Origin node.
+        target: Destination node.
+
+    Returns:
+        The node sequence from ``source`` to ``target``; consecutive
+        entries are always adjacent in the network, and interior nodes are
+        backbone members.
+
+    Raises:
+        RouteFailure: if the heads are in different components.
+    """
+    graph = backbone.structure.graph
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    if target not in graph:
+        raise NodeNotFoundError(target)
+    if source == target:
+        return [source]
+    if graph.has_edge(source, target):
+        return [source, target]
+    head_of = backbone.structure.head_of
+    hs, ht = head_of[source], head_of[target]
+    raw: List[NodeId] = [source]
+    if hs != source:
+        raw.append(hs)
+    for head, connector in _cluster_path(backbone, hs, ht)[1:]:
+        raw.extend(connector)
+        raw.append(head)
+    if ht != target:
+        raw.append(target)
+    # Drop accidental immediate repeats (e.g. source == hs handled above,
+    # but a connector may end adjacent to a repeated head id).
+    deduped: List[NodeId] = [raw[0]]
+    for v in raw[1:]:
+        if v != deduped[-1]:
+            deduped.append(v)
+    path = _smooth(graph, deduped)
+    for a, b in zip(path, path[1:]):
+        if not graph.has_edge(a, b):  # pragma: no cover - internal guard
+            raise BroadcastError(
+                f"constructed route contains non-link ({a}, {b})"
+            )
+    return path

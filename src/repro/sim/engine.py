@@ -1,0 +1,73 @@
+"""The simulation engine: a run loop over the event queue."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue, Priority
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Args:
+        max_events: Safety valve — a run processing more events than this
+            raises, catching accidental infinite message loops in protocol
+            code (the paper's protocols are all O(n) messages).
+    """
+
+    def __init__(self, max_events: int = 5_000_000) -> None:
+        self._queue = EventQueue()
+        self._now: float = 0.0
+        self._processed = 0
+        self.max_events = max_events
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed since construction."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Events still queued."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, action, priority: Priority = ()) -> None:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._queue.push(self._now + delay, action, priority)
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Process events (optionally only up to time ``until``).
+
+        Returns:
+            Number of events processed by this call.
+        """
+        start = self._processed
+        while self._queue:
+            next_time = self._queue.peek_time()
+            assert next_time is not None
+            if until is not None and next_time > until:
+                break
+            event = self._queue.pop()
+            self._now = event.time
+            event.action()
+            self._processed += 1
+            if self._processed > self.max_events:
+                raise SimulationError(
+                    f"exceeded {self.max_events} events — runaway protocol?"
+                )
+        if until is not None and self._now < until:
+            self._now = until
+        return self._processed - start
+
+    def run_to_quiescence(self) -> int:
+        """Run until no events remain (phase completion)."""
+        return self.run(until=None)

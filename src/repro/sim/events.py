@@ -1,0 +1,78 @@
+"""Event queue primitives.
+
+Events are ordered by ``(time, priority, seq)``.  ``priority`` is an
+arbitrary comparable tuple — the medium uses ``(sender, receiver)`` so that
+simultaneous deliveries replay in the same order as the centralised
+algorithms' tie-breaking — and ``seq`` is a monotonically increasing tiebreak
+that keeps ordering total and insertion-stable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+from repro.errors import SimulationError
+
+#: Priority tuples must be comparable against each other; plain int tuples.
+Priority = Tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Simulation time at which the action fires.
+        priority: Secondary ordering key for same-time events.
+        seq: Insertion sequence number (total-order tiebreak).
+        action: Zero-argument callable executed at ``time``.
+    """
+
+    time: float
+    priority: Priority
+    seq: int
+    action: Callable[[], None]
+
+    @property
+    def sort_key(self) -> Tuple[float, Priority, int]:
+        """The total ordering key."""
+        return (self.time, self.priority, self.seq)
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects."""
+
+    __slots__ = ("_heap", "_counter")
+
+    def __init__(self) -> None:
+        self._heap: list[Tuple[Tuple[float, Priority, int], Event]] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, action: Callable[[], None],
+             priority: Priority = ()) -> Event:
+        """Enqueue ``action`` at ``time``; returns the created event."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule at negative time {time}")
+        event = Event(time=time, priority=priority,
+                      seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, (event.sort_key, event))
+        return event
+
+    def pop(self) -> Event:
+        """Dequeue the earliest event."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)[1]
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest event, or ``None`` when empty."""
+        return self._heap[0][1].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,174 @@
+"""The ideal unit-disk wireless broadcast medium.
+
+A transmission by node ``s`` is delivered to every unit-disk neighbour of
+``s`` after ``latency`` time units.  The paper assumes collision/contention
+handling below the network layer, so the medium is lossless and
+collision-free; an optional per-delivery **loss probability** exists for
+robustness experiments (delivery then becomes a property of the protocol,
+not a guarantee).
+
+Delivery ordering is deterministic: simultaneous deliveries fire in
+``(sender id, receiver id)`` order, matching the centralised algorithms'
+tie-breaking (see :mod:`repro.sim.events`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import SimulationError
+from repro.graph.adjacency import Graph
+from repro.rng import RngLike, ensure_rng
+from repro.sim.engine import Simulator
+from repro.sim.messages import Message
+from repro.sim.trace import TraceRecorder
+from repro.types import NodeId
+
+#: A receiver callback: (receiver, sender, message) -> None.
+DeliveryHandler = Callable[[NodeId, NodeId, Message], None]
+
+
+class WirelessMedium:
+    """Broadcast channel bound to a simulator and a topology.
+
+    Args:
+        sim: The event engine.
+        graph: The unit disk graph defining who hears whom.
+        latency: Transmission delay in time units (the paper's unit delay).
+        loss_probability: Per-delivery drop chance (0 = ideal channel).
+        rng: Seed or generator (used only when losses are enabled).
+        trace: Optional shared recorder; one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        graph: Graph,
+        *,
+        latency: float = 1.0,
+        loss_probability: float = 0.0,
+        rng: RngLike = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        if latency <= 0:
+            raise SimulationError(f"latency must be positive, got {latency}")
+        if not (0.0 <= loss_probability < 1.0):
+            raise SimulationError(
+                f"loss probability must be in [0, 1), got {loss_probability}"
+            )
+        self.sim = sim
+        self.graph = graph
+        self.latency = latency
+        self.loss_probability = loss_probability
+        self._rng = ensure_rng(rng) if loss_probability > 0.0 else None
+        self.trace = trace if trace is not None else TraceRecorder()
+        self._receivers: Dict[NodeId, DeliveryHandler] = {}
+
+    def update_graph(self, graph: Graph) -> None:
+        """Swap the topology under a running simulation (mobility).
+
+        In-flight deliveries already scheduled are unaffected (they were
+        physically transmitted under the old topology); future
+        transmissions use the new adjacency.  The node set must not change.
+        """
+        if set(graph.nodes()) != set(self.graph.nodes()):
+            raise SimulationError(
+                "update_graph must preserve the node set"
+            )
+        self.graph = graph
+
+    def set_loss(self, probability: float, rng: RngLike = None) -> None:
+        """Reconfigure the loss model mid-run.
+
+        Used by robustness experiments that build structures on an ideal
+        channel and then degrade the data plane.
+        """
+        if not (0.0 <= probability < 1.0):
+            raise SimulationError(
+                f"loss probability must be in [0, 1), got {probability}"
+            )
+        self.loss_probability = probability
+        self._rng = ensure_rng(rng) if probability > 0.0 else None
+
+    def attach(self, node: NodeId, handler: DeliveryHandler) -> None:
+        """Register the delivery handler for ``node``."""
+        if node not in self.graph:
+            raise SimulationError(f"cannot attach unknown node {node}")
+        self._receivers[node] = handler
+
+    def transmit(self, sender: NodeId, message: Message) -> None:
+        """Broadcast ``message`` from ``sender`` to all its neighbours."""
+        if sender not in self.graph:
+            raise SimulationError(f"unknown sender {sender}")
+        self.trace.record(self.sim.now, sender, message)
+        for receiver in sorted(self.graph.neighbours_view(sender)):
+            if self._rng is not None and self._rng.random() < self.loss_probability:
+                continue
+            handler = self._receivers.get(receiver)
+            if handler is None:
+                continue  # node exists but runs no protocol — silent sink
+            self.sim.schedule(
+                self.latency,
+                # bind loop variables explicitly
+                lambda h=handler, r=receiver, s=sender, m=message: h(r, s, m),
+                priority=(sender, receiver),
+            )
+
+
+class CollisionMedium(WirelessMedium):
+    """A slotted medium where simultaneous arrivals at a receiver collide.
+
+    Models the half of the broadcast-storm problem the paper assumes away:
+    two packets arriving at a host in the same time slot destroy each other
+    (neither is delivered; both count as :attr:`collisions`).  Transmissions
+    are recorded at transmit time, so every arrival at a given slot is known
+    before the first delivery of that slot fires (the engine processes
+    events in time order and ``latency > 0``), making the collision check
+    exact rather than probabilistic.
+
+    Protocols that want to *survive* on this medium must desynchronise
+    their relays — see the ``jitter_slots`` option of the distributed
+    broadcast protocols.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: (arrival time, receiver) -> number of packets arriving together.
+        self._arrivals: Dict[tuple, int] = {}
+        self.collisions = 0
+        #: Collision accounting can be suspended (e.g. while construction
+        #: phases run under the paper's perfect-MAC assumption) and enabled
+        #: only for the data plane under study.
+        self.enabled = True
+
+    def transmit(self, sender: NodeId, message: Message) -> None:
+        """Broadcast; deliveries that share a (slot, receiver) collide."""
+        if not self.enabled:
+            super().transmit(sender, message)
+            return
+        if sender not in self.graph:
+            raise SimulationError(f"unknown sender {sender}")
+        self.trace.record(self.sim.now, sender, message)
+        arrival = self.sim.now + self.latency
+        for receiver in sorted(self.graph.neighbours_view(sender)):
+            key = (arrival, receiver)
+            self._arrivals[key] = self._arrivals.get(key, 0) + 1
+            if self._rng is not None and \
+                    self._rng.random() < self.loss_probability:
+                continue
+            handler = self._receivers.get(receiver)
+            if handler is None:
+                continue
+            self.sim.schedule(
+                self.latency,
+                lambda h=handler, r=receiver, s=sender, m=message,
+                       k=key: self._deliver_or_collide(h, r, s, m, k),
+                priority=(sender, receiver),
+            )
+
+    def _deliver_or_collide(self, handler: DeliveryHandler, receiver: NodeId,
+                            sender: NodeId, message: Message, key: tuple) -> None:
+        if self._arrivals.get(key, 0) > 1:
+            self.collisions += 1
+            return
+        handler(receiver, sender, message)

@@ -1,0 +1,69 @@
+"""Assembly of a simulated network from a topology."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.graph.adjacency import Graph
+from repro.rng import RngLike
+from repro.sim.engine import Simulator
+from repro.sim.medium import CollisionMedium, WirelessMedium
+from repro.sim.node import SimNode
+from repro.sim.trace import TraceRecorder
+from repro.types import NodeId
+
+
+class SimNetwork:
+    """A simulator, a medium over ``graph``, and one :class:`SimNode` per host.
+
+    Args:
+        graph: The network topology.
+        latency: Medium transmission delay.
+        loss_probability: Per-delivery loss for robustness experiments.
+        rng: Seed or generator (losses only).
+        collisions: Use a :class:`~repro.sim.medium.CollisionMedium`, where
+            packets arriving at a host in the same slot destroy each other
+            (broadcast-storm experiments).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        latency: float = 1.0,
+        loss_probability: float = 0.0,
+        rng: RngLike = None,
+        trace: Optional[TraceRecorder] = None,
+        collisions: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.sim = Simulator()
+        medium_cls = CollisionMedium if collisions else WirelessMedium
+        self.medium = medium_cls(
+            self.sim,
+            graph,
+            latency=latency,
+            loss_probability=loss_probability,
+            rng=rng,
+            trace=trace,
+        )
+        self.nodes: Dict[NodeId, SimNode] = {
+            v: SimNode(v, self.medium) for v in graph.nodes()
+        }
+
+    @property
+    def trace(self) -> TraceRecorder:
+        """The shared transmission trace."""
+        return self.medium.trace
+
+    def __iter__(self) -> Iterator[SimNode]:
+        for v in sorted(self.nodes):
+            yield self.nodes[v]
+
+    def node(self, node_id: NodeId) -> SimNode:
+        """Look up a node by id."""
+        return self.nodes[node_id]
+
+    def run_phase(self) -> int:
+        """Run the simulator to quiescence (one protocol phase)."""
+        return self.sim.run_to_quiescence()

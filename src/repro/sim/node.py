@@ -1,0 +1,58 @@
+"""Per-host simulation nodes with typed message dispatch."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Type
+
+from repro.errors import ProtocolError
+from repro.sim.medium import WirelessMedium
+from repro.sim.messages import Message
+from repro.types import NodeId
+
+#: Handler signature: (node, sender, message) -> None.
+Handler = Callable[["SimNode", NodeId, Message], None]
+
+
+class SimNode:
+    """One wireless host: a handler table plus free-form protocol state.
+
+    Protocols attach handlers keyed by message type and keep their per-node
+    state in namespaced attributes on :attr:`state` (a plain dict) so that
+    independently-developed protocol phases do not trample each other.
+    """
+
+    __slots__ = ("id", "medium", "_handlers", "state")
+
+    def __init__(self, node_id: NodeId, medium: WirelessMedium) -> None:
+        self.id = node_id
+        self.medium = medium
+        self._handlers: Dict[Type[Message], Handler] = {}
+        self.state: Dict[str, object] = {}
+        medium.attach(node_id, self._deliver)
+
+    def on(self, message_type: Type[Message], handler: Handler) -> None:
+        """Register ``handler`` for ``message_type`` (one per type)."""
+        if message_type in self._handlers:
+            raise ProtocolError(
+                f"node {self.id}: handler for {message_type.__name__} already set"
+            )
+        self._handlers[message_type] = handler
+
+    def replace_handler(self, message_type: Type[Message], handler: Handler) -> None:
+        """Swap the handler for ``message_type`` (protocol phase change)."""
+        self._handlers[message_type] = handler
+
+    def send(self, message: Message) -> None:
+        """Broadcast ``message`` to all neighbours."""
+        self.medium.transmit(self.id, message)
+
+    def _deliver(self, receiver: NodeId, sender: NodeId, message: Message) -> None:
+        if receiver != self.id:  # pragma: no cover - wiring error guard
+            raise ProtocolError(
+                f"node {self.id} received a delivery addressed to {receiver}"
+            )
+        handler = self._handlers.get(type(message))
+        if handler is not None:
+            handler(self, sender, message)
+        # Messages with no registered handler are silently ignored: a node
+        # not participating in a phase simply does not react.

@@ -1,0 +1,84 @@
+"""Shared type aliases and small enums used across the library.
+
+The library identifies wireless hosts by integer **node ids**.  Node ids are
+semantically meaningful: the lowest-ID clustering algorithm (Ephremides et
+al.) elects clusterheads by comparing ids, so permuting the id assignment of
+a fixed topology changes the cluster structure.  Generators therefore accept
+an explicit id permutation (see :mod:`repro.graph.generators`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Mapping, Sequence, Tuple
+
+#: A wireless host identifier.  Ordering of ids drives lowest-ID clustering.
+NodeId = int
+
+#: An undirected link between two hosts, stored with ``u < v``.
+Edge = Tuple[NodeId, NodeId]
+
+#: A 2-D position in the working area.
+Position = Tuple[float, float]
+
+#: Read-only adjacency view: node id -> iterable of neighbour ids.
+AdjacencyView = Mapping[NodeId, Iterable[NodeId]]
+
+#: A path through the network as a node sequence.
+Path = Sequence[NodeId]
+
+
+class NodeRole(enum.Enum):
+    """Role of a node within the cluster structure.
+
+    ``CANDIDATE`` only appears transiently inside the distributed clustering
+    protocol; a finished :class:`repro.cluster.state.ClusterStructure` contains
+    only ``CLUSTERHEAD`` and ``MEMBER`` roles (gateways are a property of the
+    backbone, not the clustering, and are tracked separately).
+    """
+
+    CANDIDATE = "candidate"
+    CLUSTERHEAD = "clusterhead"
+    MEMBER = "member"
+
+
+class CoveragePolicy(enum.Enum):
+    """Which coverage-set definition a clusterhead uses (paper, Section 1).
+
+    * ``TWO_FIVE_HOP`` — ``C2(u)`` plus the distance-3 clusterheads that have
+      a *member* within ``N^2(u)`` (the CH_HOP1/CH_HOP2 construction).
+    * ``THREE_HOP`` — all clusterheads within graph distance 3 of ``u``.
+    """
+
+    TWO_FIVE_HOP = "2.5-hop"
+    THREE_HOP = "3-hop"
+
+    @property
+    def label(self) -> str:
+        """Human-readable label used in tables and benchmark output."""
+        return self.value
+
+
+class PruningLevel(enum.Enum):
+    """How much piggybacked history the SD-CDS broadcast exploits.
+
+    * ``NONE`` — no piggyback: every clusterhead covers its full coverage set.
+    * ``BASIC`` — exclude the upstream sender ``u`` and its coverage ``C(u)``.
+    * ``FULL`` — the paper's behaviour: additionally exclude clusterheads
+      adjacent to any relay on the delivery path (the ``N(r)`` rule).
+    """
+
+    NONE = "none"
+    BASIC = "basic"
+    FULL = "full"
+
+
+def ordered_edge(u: NodeId, v: NodeId) -> Edge:
+    """Return the canonical ``(min, max)`` representation of an undirected edge.
+
+    Raises:
+        ValueError: if ``u == v`` (self-loops are not meaningful in a MANET).
+    """
+    if u == v:
+        raise ValueError(f"self-loop at node {u} is not a valid MANET link")
+    return (u, v) if u < v else (v, u)

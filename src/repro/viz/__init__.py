@@ -1,0 +1,11 @@
+"""Plain-text and SVG visualisation (no plotting dependencies)."""
+
+from repro.viz.ascii_art import render_backbone, render_network
+from repro.viz.svg import backbone_to_svg, network_to_svg
+
+__all__ = [
+    "render_network",
+    "render_backbone",
+    "network_to_svg",
+    "backbone_to_svg",
+]

@@ -1,0 +1,91 @@
+"""ASCII rendering of networks and backbones.
+
+Scales node positions onto a character grid.  Glyphs follow the paper's
+figure conventions: ``#`` clusterhead (black node), ``o`` gateway (grey
+node), ``.`` other nodes (white).  Collisions keep the most significant
+glyph (``#`` over ``o`` over ``.``).  Intended for terminals, examples and
+debugging — not pixel-perfect geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.cluster.state import ClusterStructure
+from repro.errors import ConfigurationError
+from repro.graph.network import Network
+from repro.types import NodeId
+
+#: Glyph precedence (higher wins a shared cell).
+_RANK = {"#": 3, "o": 2, ".": 1, " ": 0}
+
+
+def _paint(
+    network: Network,
+    glyph_of: Dict[NodeId, str],
+    width: int,
+    height: int,
+    label_ids: bool,
+) -> str:
+    if width < 8 or height < 4:
+        raise ConfigurationError(f"grid {width}x{height} too small to render")
+    grid = [[" "] * width for _ in range(height)]
+    sx = (width - 1) / network.area.width
+    sy = (height - 1) / network.area.height
+    for v, (x, y) in network.positions.items():
+        col = min(width - 1, max(0, round(x * sx)))
+        row = min(height - 1, max(0, round((network.area.height - y) * sy)))
+        glyph = glyph_of.get(v, ".")
+        if _RANK[glyph] >= _RANK[grid[row][col]]:
+            grid[row][col] = glyph
+    lines = ["".join(r).rstrip() for r in grid]
+    if label_ids:
+        legend = ", ".join(
+            f"{v}{glyph_of.get(v, '.')}"
+            for v in sorted(network.positions)
+        )
+        lines.append(f"[{legend}]")
+    return "\n".join(lines)
+
+
+def render_network(
+    network: Network,
+    *,
+    width: int = 64,
+    height: int = 24,
+    label_ids: bool = False,
+) -> str:
+    """Render the bare topology (every node as ``.``)."""
+    return _paint(network, {}, width, height, label_ids)
+
+
+def render_backbone(
+    network: Network,
+    structure: ClusterStructure,
+    gateways: Optional[Iterable[NodeId]] = None,
+    *,
+    width: int = 64,
+    height: int = 24,
+    label_ids: bool = False,
+) -> str:
+    """Render the clustered network with backbone roles.
+
+    Args:
+        network: Positions and area.
+        structure: The clustering (heads drawn as ``#``).
+        gateways: Backbone gateways drawn as ``o`` (e.g.
+            ``backbone.gateways``).
+        width: Grid columns.
+        height: Grid rows.
+        label_ids: Append a node-id legend line.
+    """
+    gateway_set: Set[NodeId] = set(gateways or ())
+    glyph_of: Dict[NodeId, str] = {}
+    for v in network.positions:
+        if structure.is_clusterhead(v):
+            glyph_of[v] = "#"
+        elif v in gateway_set:
+            glyph_of[v] = "o"
+        else:
+            glyph_of[v] = "."
+    return _paint(network, glyph_of, width, height, label_ids)

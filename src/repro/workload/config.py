@@ -1,0 +1,70 @@
+"""Experiment configuration: the paper's simulation environment.
+
+Section 4: "The confined working space is 100 x 100.  Nodes are randomly
+placed in this area. ... The network is generated with two fixed average
+node degrees: d = 6 and 18 ... For each d, the number of nodes in the
+network ranges from 20 to 100.  We repeat the simulation until the 99%
+confidential interval of the result is within ±5%."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.geometry.area import Area
+
+
+@dataclass(frozen=True)
+class PaperEnvironment:
+    """The paper's simulation environment, with adjustable fidelity.
+
+    Attributes:
+        ns: Network sizes swept on the x axis.
+        degrees: Fixed average degrees (one sub-figure each).
+        area: The confined working space.
+        confidence: CI confidence level for the stopping rule.
+        target: Relative CI half-width target.
+        min_samples: Trials before convergence may be declared.
+        max_samples: Hard per-point trial budget.
+        seed: Root seed; every (figure, d, n) point derives its own stream.
+    """
+
+    ns: Tuple[int, ...] = (20, 40, 60, 80, 100)
+    degrees: Tuple[float, ...] = (6.0, 18.0)
+    area: Area = field(default_factory=Area.paper)
+    confidence: float = 0.99
+    target: float = 0.05
+    min_samples: int = 30
+    max_samples: int = 4000
+    seed: int = 20030422
+
+    def __post_init__(self) -> None:
+        if not self.ns:
+            raise ConfigurationError("at least one network size is required")
+        if any(n < 2 for n in self.ns):
+            raise ConfigurationError(f"network sizes must be >= 2, got {self.ns}")
+        if not self.degrees:
+            raise ConfigurationError("at least one average degree is required")
+        if any(d <= 0 for d in self.degrees):
+            raise ConfigurationError(f"degrees must be positive, got {self.degrees}")
+
+    @classmethod
+    def paper(cls) -> "PaperEnvironment":
+        """Full-fidelity settings matching the paper."""
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "PaperEnvironment":
+        """Reduced-fidelity settings for CI and benchmark smoke runs.
+
+        Same sweep shape, but a fixed small trial count (stopping rule
+        disabled by ``min_samples == max_samples``); results are noisier but
+        the figure *shapes* survive.
+        """
+        return cls(min_samples=12, max_samples=12, target=0.5)
+
+    def scaled(self, **overrides: object) -> "PaperEnvironment":
+        """A copy with fields replaced (thin wrapper over dataclass replace)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]

@@ -1,0 +1,199 @@
+"""Figure drivers: regenerate the series behind the paper's Figures 6-8.
+
+Each driver returns one :class:`~repro.metrics.series.SeriesTable` per fixed
+average degree (the paper's (a)/(b) sub-figures).  All algorithms in a
+figure share each trial's network sample and broadcast source (paired
+design, see :mod:`repro.workload.trials`).
+
+Series labels are stable strings the tests and EXPERIMENTS.md key on:
+
+* Figure 6 — ``static[2.5-hop]``, ``static[3-hop]``, ``mo-cds``;
+* Figure 7 — ``dynamic[2.5-hop]``, ``dynamic[3-hop]``, ``mo-cds``;
+* Figure 8 — the static and dynamic labels together.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping
+
+import numpy as np
+
+from repro.backbone.mo_cds import build_mo_cds
+from repro.backbone.static_backbone import Backbone, build_static_backbone
+from repro.broadcast.flooding import blind_flooding
+from repro.broadcast.sd_cds import broadcast_sd
+from repro.broadcast.si_cds import broadcast_si
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.cluster.state import ClusterStructure
+from repro.coverage.policy import compute_all_coverage_sets
+from repro.graph.generators import random_geometric_network
+from repro.graph.network import Network
+from repro.metrics.series import ExperimentSeries, SeriesTable
+from repro.rng import spawn
+from repro.types import CoveragePolicy, NodeId, PruningLevel
+from repro.workload.config import PaperEnvironment
+from repro.workload.trials import paired_trials
+
+#: Stable series labels.
+STATIC_25 = "static[2.5-hop]"
+STATIC_3 = "static[3-hop]"
+DYNAMIC_25 = "dynamic[2.5-hop]"
+DYNAMIC_3 = "dynamic[3-hop]"
+MO_CDS = "mo-cds"
+FLOODING = "flooding"
+
+#: One trial's measurement given the sampled network, clustering and source.
+SampleMetricsFn = Callable[
+    [Network, ClusterStructure, NodeId], Mapping[str, float]
+]
+
+
+def _run_figure(
+    env: PaperEnvironment,
+    title_fmt: str,
+    metrics_fn: SampleMetricsFn,
+    figure_seed_offset: int,
+) -> Dict[float, SeriesTable]:
+    """Shared sweep driver: for each (d, n) run paired trials to convergence."""
+    tables: Dict[float, SeriesTable] = {}
+    # Derive one independent stream per (figure, degree, n) point so any
+    # point is reproducible in isolation.
+    point_streams = spawn(
+        env.seed + figure_seed_offset, len(env.degrees) * len(env.ns)
+    )
+    stream_iter = iter(point_streams)
+    for d in env.degrees:
+        table = SeriesTable(title=title_fmt.format(d=d), x_label="n")
+        series: Dict[str, ExperimentSeries] = {}
+        for n in env.ns:
+            stream = next(stream_iter)
+
+            def trial(gen: np.random.Generator) -> Mapping[str, float]:
+                net = random_geometric_network(
+                    n, d, area=env.area, rng=gen
+                )
+                clustering = lowest_id_clustering(net.graph)
+                source = int(gen.choice(net.graph.nodes()))
+                return metrics_fn(net, clustering, source)
+
+            outcome = paired_trials(
+                trial,
+                confidence=env.confidence,
+                target=env.target,
+                min_samples=env.min_samples,
+                max_samples=env.max_samples,
+                rng=stream,
+            )
+            for label, ci in outcome.estimates.items():
+                if label not in series:
+                    series[label] = ExperimentSeries(label=label)
+                    table.add_series(series[label])
+                series[label].add(float(n), ci)
+        tables[d] = table
+    return tables
+
+
+def _fig6_metrics(net: Network, clustering: ClusterStructure,
+                  source: NodeId) -> Mapping[str, float]:
+    """Average CDS sizes (source unused: the CDSs are source-independent)."""
+    del source
+    return {
+        STATIC_25: float(
+            build_static_backbone(clustering, CoveragePolicy.TWO_FIVE_HOP).size
+        ),
+        STATIC_3: float(
+            build_static_backbone(clustering, CoveragePolicy.THREE_HOP).size
+        ),
+        MO_CDS: float(build_mo_cds(clustering).size),
+    }
+
+
+def run_fig6(env: PaperEnvironment = PaperEnvironment()) -> Dict[float, SeriesTable]:
+    """Figure 6: average size of the CDS — static backbone vs MO_CDS.
+
+    Returns:
+        Mapping average degree -> series table (sub-figures (a) and (b)).
+    """
+    return _run_figure(
+        env, "Figure 6 (d={d:g}): average CDS size", _fig6_metrics, 600
+    )
+
+
+def _fig7_metrics(net: Network, clustering: ClusterStructure,
+                  source: NodeId) -> Mapping[str, float]:
+    """Forward-node-set sizes: dynamic backbone vs broadcasting on MO_CDS."""
+    dyn25 = broadcast_sd(
+        clustering, source, policy=CoveragePolicy.TWO_FIVE_HOP,
+        pruning=PruningLevel.FULL,
+    )
+    dyn3 = broadcast_sd(
+        clustering, source, policy=CoveragePolicy.THREE_HOP,
+        pruning=PruningLevel.FULL,
+    )
+    mo = build_mo_cds(clustering)
+    mo_bc = broadcast_si(net.graph, mo, source)
+    return {
+        DYNAMIC_25: float(dyn25.result.num_forward_nodes),
+        DYNAMIC_3: float(dyn3.result.num_forward_nodes),
+        MO_CDS: float(mo_bc.num_forward_nodes),
+    }
+
+
+def run_fig7(env: PaperEnvironment = PaperEnvironment()) -> Dict[float, SeriesTable]:
+    """Figure 7: average forward-node-set size — dynamic backbone vs MO_CDS."""
+    return _run_figure(
+        env, "Figure 7 (d={d:g}): average forward-node-set size", _fig7_metrics, 700
+    )
+
+
+def _fig8_metrics(net: Network, clustering: ClusterStructure,
+                  source: NodeId) -> Mapping[str, float]:
+    """Forward-node-set sizes: static vs dynamic backbones, both policies."""
+    static25 = build_static_backbone(clustering, CoveragePolicy.TWO_FIVE_HOP)
+    static3 = build_static_backbone(clustering, CoveragePolicy.THREE_HOP)
+    dyn25 = broadcast_sd(
+        clustering, source, policy=CoveragePolicy.TWO_FIVE_HOP,
+        pruning=PruningLevel.FULL,
+    )
+    dyn3 = broadcast_sd(
+        clustering, source, policy=CoveragePolicy.THREE_HOP,
+        pruning=PruningLevel.FULL,
+    )
+    return {
+        STATIC_25: float(broadcast_si(net.graph, static25, source).num_forward_nodes),
+        STATIC_3: float(broadcast_si(net.graph, static3, source).num_forward_nodes),
+        DYNAMIC_25: float(dyn25.result.num_forward_nodes),
+        DYNAMIC_3: float(dyn3.result.num_forward_nodes),
+    }
+
+
+def run_fig8(env: PaperEnvironment = PaperEnvironment()) -> Dict[float, SeriesTable]:
+    """Figure 8: forward-node-set size — static vs dynamic backbones."""
+    return _run_figure(
+        env, "Figure 8 (d={d:g}): static vs dynamic forward-node-set size",
+        _fig8_metrics, 800,
+    )
+
+
+def _flooding_metrics(net: Network, clustering: ClusterStructure,
+                      source: NodeId) -> Mapping[str, float]:
+    """Extension: blind flooding vs the paper's schemes (broadcast storm)."""
+    dyn25 = broadcast_sd(
+        clustering, source, policy=CoveragePolicy.TWO_FIVE_HOP,
+        pruning=PruningLevel.FULL,
+    )
+    static25 = build_static_backbone(clustering, CoveragePolicy.TWO_FIVE_HOP)
+    return {
+        FLOODING: float(blind_flooding(net.graph, source).num_forward_nodes),
+        STATIC_25: float(broadcast_si(net.graph, static25, source).num_forward_nodes),
+        DYNAMIC_25: float(dyn25.result.num_forward_nodes),
+    }
+
+
+def run_flooding_comparison(
+    env: PaperEnvironment = PaperEnvironment(),
+) -> Dict[float, SeriesTable]:
+    """Ablation: how much redundancy the backbones remove vs blind flooding."""
+    return _run_figure(
+        env, "Ablation (d={d:g}): flooding vs backbones", _flooding_metrics, 900
+    )

@@ -1,0 +1,127 @@
+"""Scaling study: the pipeline at sizes far beyond the paper's 100 nodes.
+
+The paper stops at n=100; the library's substrates are built to go much
+further (spatial-hash unit-disk construction, linear-time clustering).
+This study measures, for fixed average degree and growing n:
+
+* wall-clock of each pipeline stage (construction, clustering, coverage,
+  backbone);
+* the backbone fraction ``|CDS| / n`` — approximately constant for fixed
+  degree, which is what makes the approach scale;
+* dynamic-broadcast forward fraction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.backbone.static_backbone import build_static_backbone
+from repro.broadcast.sd_cds import broadcast_sd
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.coverage.policy import compute_all_coverage_sets
+from repro.geometry.area import Area
+from repro.geometry.disk import range_for_target_degree
+from repro.geometry.placement import uniform_placement
+from repro.graph.build import unit_disk_graph
+from repro.graph.connectivity import connected_components
+from repro.rng import RngLike, ensure_rng
+from repro.types import CoveragePolicy
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingPoint:
+    """Measured pipeline behaviour at one network size.
+
+    Attributes:
+        n: Nodes placed.
+        component_n: Size of the component actually processed (large sparse
+            networks are rarely fully connected; the giant component is the
+            honest processing unit at scale).
+        build_seconds: Unit-disk construction time.
+        cluster_seconds: Clustering time.
+        coverage_seconds: Coverage-set computation time.
+        backbone_seconds: Gateway-selection time.
+        backbone_fraction: ``|CDS| / component_n``.
+        dynamic_fraction: Dynamic forward nodes over ``component_n``.
+    """
+
+    n: int
+    component_n: int
+    build_seconds: float
+    cluster_seconds: float
+    coverage_seconds: float
+    backbone_seconds: float
+    backbone_fraction: float
+    dynamic_fraction: float
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end pipeline time."""
+        return (self.build_seconds + self.cluster_seconds
+                + self.coverage_seconds + self.backbone_seconds)
+
+
+def run_scaling_study(
+    *,
+    ns: Sequence[int] = (100, 300, 1000, 3000),
+    average_degree: float = 12.0,
+    rng: RngLike = None,
+) -> List[ScalingPoint]:
+    """Run the full pipeline at each size and time every stage.
+
+    The working area grows with n so the *density* (and hence degree) stays
+    fixed — the geometry a growing deployment would actually have.
+
+    Args:
+        ns: Network sizes.
+        average_degree: Fixed target degree across sizes.
+        rng: Seed or generator.
+
+    Returns:
+        One :class:`ScalingPoint` per size.
+    """
+    generator = ensure_rng(rng)
+    points: List[ScalingPoint] = []
+    for n in ns:
+        # Fixed density: area scales linearly with n.
+        side = 100.0 * (n / 100.0) ** 0.5
+        area = Area(side, side)
+        radius = range_for_target_degree(n, average_degree, area)
+        pts = uniform_placement(n, area, generator)
+
+        t0 = time.perf_counter()
+        graph = unit_disk_graph(pts, radius)
+        t1 = time.perf_counter()
+        giant = max(connected_components(graph), key=len)
+        component = graph.subgraph(giant)
+        t2 = time.perf_counter()
+        clustering = lowest_id_clustering(component)
+        t3 = time.perf_counter()
+        coverage = compute_all_coverage_sets(
+            clustering, CoveragePolicy.TWO_FIVE_HOP
+        )
+        t4 = time.perf_counter()
+        backbone = build_static_backbone(
+            clustering, CoveragePolicy.TWO_FIVE_HOP, coverage
+        )
+        t5 = time.perf_counter()
+        source = min(giant)
+        dyn = broadcast_sd(clustering, source, coverage_sets=coverage)
+
+        points.append(
+            ScalingPoint(
+                n=n,
+                component_n=len(giant),
+                build_seconds=t1 - t0,
+                cluster_seconds=t3 - t2,
+                coverage_seconds=t4 - t3,
+                backbone_seconds=t5 - t4,
+                backbone_fraction=backbone.size / len(giant),
+                dynamic_fraction=(
+                    dyn.result.num_forward_nodes / len(giant)
+                ),
+            )
+        )
+    return points

@@ -1,0 +1,104 @@
+"""Paired sequential trials.
+
+All algorithms under comparison are evaluated on the **same** network sample
+in each trial (a paired design): differences between curves then come from
+the algorithms, not from sampling luck, and the paper's stopping rule is
+applied to every metric — the point is done when *all* metrics' confidence
+intervals are tight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping
+
+import numpy as np
+
+from repro.errors import SampleBudgetExceededError
+from repro.metrics.confidence import ConfidenceInterval, SequentialEstimator
+from repro.rng import RngLike, ensure_rng
+
+#: A trial function: draws one sample with the given generator and returns
+#: one value per metric label.
+TrialFn = Callable[[np.random.Generator], Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """Converged estimates for one experiment point.
+
+    Attributes:
+        estimates: Metric label -> confidence interval.
+        trials: Number of paired trials executed.
+        converged: Whether every metric met the stopping rule (``False`` only
+            when ``strict=False`` and the budget ran out).
+    """
+
+    estimates: Mapping[str, ConfidenceInterval]
+    trials: int
+    converged: bool
+
+
+def paired_trials(
+    trial_fn: TrialFn,
+    *,
+    confidence: float = 0.99,
+    target: float = 0.05,
+    min_samples: int = 30,
+    max_samples: int = 4000,
+    rng: RngLike = None,
+    strict: bool = False,
+) -> TrialOutcome:
+    """Run paired trials until the stopping rule holds for every metric.
+
+    Args:
+        trial_fn: Produces one sample's metric values.
+        confidence: CI confidence level (paper: 0.99).
+        target: Relative half-width target (paper: ±5%).
+        min_samples: Trials before convergence may be declared.
+        max_samples: Hard budget.
+        rng: Seed or generator for the trial streams.
+        strict: If ``True``, raise
+            :class:`~repro.errors.SampleBudgetExceededError` when the budget
+            runs out; otherwise return the best-effort estimates with
+            ``converged=False``.
+
+    Returns:
+        The :class:`TrialOutcome`.
+    """
+    generator = ensure_rng(rng)
+    estimators: Dict[str, SequentialEstimator] = {}
+    trials = 0
+    while True:
+        values = trial_fn(generator)
+        trials += 1
+        for label, value in values.items():
+            est = estimators.get(label)
+            if est is None:
+                est = estimators[label] = SequentialEstimator(
+                    confidence=confidence,
+                    target=target,
+                    min_samples=min_samples,
+                    max_samples=max_samples,
+                )
+            est.add(float(value))
+        if trials >= min_samples and all(e.converged() for e in estimators.values()):
+            converged = True
+            break
+        if trials >= max_samples:
+            converged = False
+            break
+    if strict and not converged:
+        worst = max(
+            estimators.values(), key=lambda e: e.interval().relative_half_width
+        )
+        raise SampleBudgetExceededError(
+            trials=trials,
+            half_width_ratio=worst.interval().relative_half_width,
+            target=target,
+        )
+    return TrialOutcome(
+        estimates={label: e.interval() for label, e in estimators.items()},
+        trials=trials,
+        converged=converged,
+    )

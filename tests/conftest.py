@@ -1,0 +1,34 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.graph.adjacency import Graph
+from repro.graph.connectivity import is_connected
+from repro.graph.generators import paper_figure3_graph, random_geometric_network
+
+
+@pytest.fixture
+def fig3_graph() -> Graph:
+    """The paper's Figure 3 example network (ids 1..10)."""
+    return paper_figure3_graph()
+
+
+@pytest.fixture
+def fig3_clustering(fig3_graph):
+    """Lowest-ID clustering of the Figure 3 network."""
+    return lowest_id_clustering(fig3_graph)
+
+
+@pytest.fixture
+def small_net():
+    """A reproducible small connected geometric network (n=30, d=6)."""
+    return random_geometric_network(30, 6.0, rng=12345)
+
+
+@pytest.fixture
+def dense_net():
+    """A reproducible dense connected geometric network (n=50, d=14)."""
+    return random_geometric_network(50, 14.0, rng=54321)

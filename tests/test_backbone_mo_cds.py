@@ -1,0 +1,68 @@
+"""Tests for the MO_CDS baseline."""
+
+from hypothesis import given, settings
+
+from repro.backbone.mo_cds import build_mo_cds
+from repro.backbone.static_backbone import build_static_backbone
+from repro.backbone.verify import verify_backbone
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.graph.properties import is_connected_dominating_set
+from repro.types import CoveragePolicy
+
+from strategies import connected_graphs, geometric_networks
+
+
+class TestFigure3:
+    def test_is_cds(self, fig3_graph, fig3_clustering):
+        mo = build_mo_cds(fig3_clustering)
+        assert is_connected_dominating_set(fig3_graph, mo.nodes)
+        verify_backbone(mo)
+
+    def test_uses_three_hop_policy(self, fig3_clustering):
+        mo = build_mo_cds(fig3_clustering)
+        assert mo.policy is CoveragePolicy.THREE_HOP
+        assert mo.algorithm == "mo-cds"
+
+    def test_per_target_selection_deterministic(self, fig3_clustering):
+        mo = build_mo_cds(fig3_clustering)
+        # Head 3 connects 2-hop heads 1, 2, 4 via lowest-id connectors.
+        sel = mo.selections[3]
+        assert sel.connectors[1] == (7,)
+        assert sel.connectors[2] == (8,)
+        assert sel.connectors[4] == (9,)
+
+    def test_head1_covers_head4_with_pair(self, fig3_clustering):
+        # 3-hop coverage: head 1 must connect to head 4 via a pair.
+        sel = build_mo_cds(fig3_clustering).selections[1]
+        assert sel.connectors[4] == (5, 9)
+
+
+class TestComparisonWithStatic:
+    @settings(max_examples=40, deadline=None)
+    @given(graph=connected_graphs())
+    def test_mo_cds_is_cds(self, graph):
+        cs = lowest_id_clustering(graph)
+        mo = build_mo_cds(cs)
+        assert is_connected_dominating_set(graph, mo.nodes)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=connected_graphs())
+    def test_both_selections_cover_all_targets(self, graph):
+        cs = lowest_id_clustering(graph)
+        static3 = build_static_backbone(cs, CoveragePolicy.THREE_HOP)
+        mo = build_mo_cds(cs)
+        for head in cs.sorted_heads():
+            targets = mo.coverage_sets[head].all_targets
+            assert mo.selections[head].covered_targets() == targets
+            assert static3.selections[head].covered_targets() == targets
+
+    @settings(max_examples=12, deadline=None)
+    @given(net=geometric_networks())
+    def test_sizes_comparable_on_geometric(self, net):
+        # Figure 6's observation: similar sizes, static slightly better on
+        # average (greedy merging vs per-target picks).  Individual samples
+        # may wobble a little, hence the small slack.
+        cs = lowest_id_clustering(net.graph)
+        static = build_static_backbone(cs, CoveragePolicy.THREE_HOP)
+        mo = build_mo_cds(cs)
+        assert static.size <= mo.size + 2

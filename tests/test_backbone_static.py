@@ -1,0 +1,105 @@
+"""Tests for the static backbone (cluster-based SI-CDS)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.backbone.static_backbone import build_static_backbone
+from repro.backbone.verify import verify_backbone
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.coverage.policy import compute_all_coverage_sets
+from repro.graph.generators import chain_graph
+from repro.graph.properties import is_connected_dominating_set
+from repro.types import CoveragePolicy
+
+from strategies import connected_graphs, geometric_networks
+
+
+class TestFigure3:
+    def test_backbone_nodes(self, fig3_clustering):
+        bb = build_static_backbone(fig3_clustering)
+        assert bb.nodes == frozenset(range(1, 10))  # 1..9, not 10
+        assert bb.size == 9
+
+    def test_gateways(self, fig3_clustering):
+        bb = build_static_backbone(fig3_clustering)
+        assert bb.gateways == frozenset({5, 6, 7, 8, 9})
+
+    def test_is_cds(self, fig3_graph, fig3_clustering):
+        bb = build_static_backbone(fig3_clustering)
+        assert is_connected_dominating_set(fig3_graph, bb.nodes)
+        verify_backbone(bb)
+
+    def test_three_hop_variant_also_cds(self, fig3_graph, fig3_clustering):
+        bb = build_static_backbone(fig3_clustering, CoveragePolicy.THREE_HOP)
+        assert is_connected_dominating_set(fig3_graph, bb.nodes)
+
+    def test_algorithm_label(self, fig3_clustering):
+        assert "2.5-hop" in build_static_backbone(fig3_clustering).algorithm
+
+    def test_contains(self, fig3_clustering):
+        bb = build_static_backbone(fig3_clustering)
+        assert bb.contains(1) and bb.contains(9)
+        assert not bb.contains(10)
+
+
+class TestCoverageReuse:
+    def test_precomputed_sets_accepted(self, fig3_clustering):
+        covs = compute_all_coverage_sets(fig3_clustering)
+        bb = build_static_backbone(fig3_clustering, coverage_sets=covs)
+        assert bb.coverage_sets[4] is covs[4]
+
+
+class TestEdgeCases:
+    def test_single_node(self):
+        from repro.graph.adjacency import Graph
+
+        cs = lowest_id_clustering(Graph(nodes=[0]))
+        bb = build_static_backbone(cs)
+        assert bb.nodes == frozenset({0})
+
+    def test_chain_backbone(self):
+        g = chain_graph(7)
+        cs = lowest_id_clustering(g)
+        bb = build_static_backbone(cs)
+        verify_backbone(bb)
+        # Heads 0,2,4,6 plus connecting gateways 1,3,5.
+        assert bb.nodes == frozenset(range(7))
+
+    def test_two_cliques_bridge(self):
+        from repro.graph.adjacency import Graph
+
+        edges = [(0, 1), (0, 2), (1, 2), (5, 6), (5, 7), (6, 7), (2, 5)]
+        cs = lowest_id_clustering(Graph(edges=edges))
+        bb = build_static_backbone(cs)
+        verify_backbone(bb)
+        assert {0, 5} <= bb.nodes  # the two heads
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(graph=connected_graphs())
+    def test_theorem1_cds_two_five(self, graph):
+        cs = lowest_id_clustering(graph)
+        bb = build_static_backbone(cs, CoveragePolicy.TWO_FIVE_HOP)
+        assert is_connected_dominating_set(graph, bb.nodes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=connected_graphs())
+    def test_theorem1_cds_three_hop(self, graph):
+        cs = lowest_id_clustering(graph)
+        bb = build_static_backbone(cs, CoveragePolicy.THREE_HOP)
+        assert is_connected_dominating_set(graph, bb.nodes)
+
+    @settings(max_examples=15, deadline=None)
+    @given(net=geometric_networks())
+    def test_cds_on_geometric_networks(self, net):
+        cs = lowest_id_clustering(net.graph)
+        bb = build_static_backbone(cs)
+        assert is_connected_dominating_set(net.graph, bb.nodes)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=connected_graphs())
+    def test_contains_all_heads(self, graph):
+        cs = lowest_id_clustering(graph)
+        bb = build_static_backbone(cs)
+        assert cs.clusterheads <= bb.nodes

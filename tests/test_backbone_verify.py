@@ -1,0 +1,58 @@
+"""Tests for backbone verification."""
+
+import pytest
+
+from repro.backbone.gateway_selection import GatewaySelection
+from repro.backbone.static_backbone import Backbone, build_static_backbone
+from repro.backbone.verify import verify_backbone
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.errors import BackboneError
+from repro.graph.adjacency import Graph
+from repro.types import CoveragePolicy
+
+
+def forged_backbone(structure, selections):
+    """A Backbone with hand-crafted selections (to break invariants)."""
+    return Backbone(
+        structure=structure,
+        policy=CoveragePolicy.TWO_FIVE_HOP,
+        coverage_sets={},
+        selections=selections,
+        algorithm="forged",
+    )
+
+
+class TestVerify:
+    def test_valid_backbone_passes(self, fig3_clustering):
+        verify_backbone(build_static_backbone(fig3_clustering))
+
+    def test_disconnected_backbone_rejected(self):
+        # Chain 0-1-2-3-4: heads {0,2,4}; withhold all gateways.
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+        cs = lowest_id_clustering(g)
+        bb = forged_backbone(cs, {})
+        with pytest.raises(BackboneError, match="disconnected"):
+            verify_backbone(bb)
+
+    def test_non_dominating_never_happens_with_heads(self):
+        # Heads always dominate, so forged backbones fail on connectivity
+        # before domination; domination failure needs a custom node set.
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+        cs = lowest_id_clustering(g)
+        sel = GatewaySelection(head=0, gateways=frozenset({1}), connectors={2: (1,)})
+        sel2 = GatewaySelection(head=2, gateways=frozenset({3}), connectors={4: (3,)})
+        bb = forged_backbone(cs, {0: sel, 2: sel2})
+        verify_backbone(bb)  # 0,1,2,3,4 connected and dominating
+
+    def test_disconnected_graph_per_component(self):
+        g = Graph(edges=[(0, 1), (5, 6)])
+        cs = lowest_id_clustering(g)
+        bb = build_static_backbone(cs)
+        verify_backbone(bb)  # components {0,1} and {5,6} each fine
+
+    def test_disconnected_graph_broken_component(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4), (8, 9)])
+        cs = lowest_id_clustering(g)
+        bb = forged_backbone(cs, {})  # chain component needs gateways
+        with pytest.raises(BackboneError):
+            verify_backbone(bb)

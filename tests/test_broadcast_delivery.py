@@ -1,0 +1,37 @@
+"""Tests for delivery verification helpers."""
+
+import pytest
+
+from repro.broadcast.delivery import check_full_delivery, delivery_ratio
+from repro.broadcast.flooding import blind_flooding
+from repro.errors import BroadcastError
+from repro.graph.adjacency import Graph
+
+
+@pytest.fixture
+def split_graph():
+    return Graph(edges=[(0, 1), (1, 2), (5, 6)])
+
+
+class TestDeliveryRatio:
+    def test_full(self, fig3_graph):
+        r = blind_flooding(fig3_graph, 1)
+        assert delivery_ratio(fig3_graph, r) == 1.0
+
+    def test_partial(self, split_graph):
+        r = blind_flooding(split_graph, 0)
+        assert delivery_ratio(split_graph, r) == pytest.approx(3 / 5)
+
+    def test_empty_graph(self):
+        r = blind_flooding(Graph(nodes=[0]), 0)
+        assert delivery_ratio(Graph(), r) == 1.0
+
+
+class TestCheckFullDelivery:
+    def test_passes_on_full(self, fig3_graph):
+        check_full_delivery(fig3_graph, blind_flooding(fig3_graph, 1))
+
+    def test_raises_listing_missing(self, split_graph):
+        r = blind_flooding(split_graph, 0)
+        with pytest.raises(BroadcastError, match="missed 2"):
+            check_full_delivery(split_graph, r)

@@ -1,0 +1,56 @@
+"""Tests for the dominant-pruning extension baseline."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.broadcast.dominant_pruning import broadcast_dominant_pruning
+from repro.broadcast.flooding import blind_flooding
+from repro.errors import NodeNotFoundError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import chain_graph, star_graph
+
+from strategies import connected_graphs, geometric_networks
+
+
+class TestDominantPruning:
+    def test_star_needs_only_hub(self):
+        r = broadcast_dominant_pruning(star_graph(8), 0)
+        assert r.forward_nodes == frozenset({0})
+        assert r.delivered_to_all(star_graph(8))
+
+    def test_star_from_leaf(self):
+        g = star_graph(8)
+        r = broadcast_dominant_pruning(g, 3)
+        assert r.delivered_to_all(g)
+        assert r.num_forward_nodes == 2  # leaf + hub
+
+    def test_chain_forwards_interior(self):
+        g = chain_graph(6)
+        r = broadcast_dominant_pruning(g, 0)
+        assert r.delivered_to_all(g)
+        # The last node never needs to forward.
+        assert 5 not in r.forward_nodes
+
+    def test_unknown_source(self):
+        with pytest.raises(NodeNotFoundError):
+            broadcast_dominant_pruning(chain_graph(3), 9)
+
+    def test_figure5_redundancy_removed(self):
+        # Triangle u-v-w: after u transmits, nobody needs to forward.
+        g = Graph(edges=[(0, 1), (0, 2), (1, 2)])
+        r = broadcast_dominant_pruning(g, 0)
+        assert r.forward_nodes == frozenset({0})
+
+    @settings(max_examples=50, deadline=None)
+    @given(graph=connected_graphs())
+    def test_full_delivery(self, graph):
+        r = broadcast_dominant_pruning(graph, 0)
+        assert r.delivered_to_all(graph)
+
+    @settings(max_examples=15, deadline=None)
+    @given(net=geometric_networks())
+    def test_beats_flooding(self, net):
+        dp = broadcast_dominant_pruning(net.graph, 0)
+        fl = blind_flooding(net.graph, 0)
+        assert dp.num_forward_nodes <= fl.num_forward_nodes
+        assert dp.delivered_to_all(net.graph)

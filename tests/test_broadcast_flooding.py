@@ -1,0 +1,50 @@
+"""Tests for blind flooding."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.broadcast.flooding import blind_flooding
+from repro.errors import NodeNotFoundError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import chain_graph
+from repro.graph.traversal import bfs_distances, eccentricity
+
+from strategies import connected_graphs
+
+
+class TestFlooding:
+    def test_everyone_forwards(self, fig3_graph):
+        r = blind_flooding(fig3_graph, 1)
+        assert r.forward_nodes == frozenset(fig3_graph.nodes())
+        assert r.transmissions == fig3_graph.num_nodes
+
+    def test_reception_times_are_bfs_distances(self, fig3_graph):
+        r = blind_flooding(fig3_graph, 1)
+        assert dict(r.reception_time) == bfs_distances(fig3_graph, 1)
+
+    def test_latency_is_eccentricity(self):
+        g = chain_graph(9)
+        assert blind_flooding(g, 0).latency == eccentricity(g, 0)
+
+    def test_unknown_source(self, fig3_graph):
+        with pytest.raises(NodeNotFoundError):
+            blind_flooding(fig3_graph, 999)
+
+    def test_disconnected_partial_delivery(self):
+        g = Graph(edges=[(0, 1), (5, 6)])
+        r = blind_flooding(g, 0)
+        assert r.received == frozenset({0, 1})
+        assert not r.delivered_to_all(g)
+
+    def test_single_node(self):
+        g = Graph(nodes=[3])
+        r = blind_flooding(g, 3)
+        assert r.num_forward_nodes == 1
+        assert r.latency == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=connected_graphs())
+    def test_full_delivery_on_connected(self, graph):
+        r = blind_flooding(graph, 0)
+        assert r.delivered_to_all(graph)
+        assert r.num_forward_nodes == graph.num_nodes

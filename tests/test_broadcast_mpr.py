@@ -1,0 +1,83 @@
+"""Tests for multipoint-relay broadcasting."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.broadcast.flooding import blind_flooding
+from repro.broadcast.mpr import all_mpr_sets, broadcast_mpr, mpr_set
+from repro.errors import NodeNotFoundError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import chain_graph, grid_graph, star_graph
+from repro.graph.traversal import nodes_at_distance
+
+from strategies import connected_graphs, geometric_networks
+
+
+class TestMprSet:
+    def test_star_hub_needs_no_relays(self):
+        assert mpr_set(star_graph(5), 0) == frozenset()
+
+    def test_leaf_selects_hub(self):
+        assert mpr_set(star_graph(5), 1) == frozenset({0})
+
+    def test_chain_interior(self):
+        g = chain_graph(5)
+        assert mpr_set(g, 2) == frozenset({1, 3})
+
+    def test_covers_strict_two_hop(self):
+        g = grid_graph(4, 4)
+        for v in g.nodes():
+            covered = set()
+            for u in mpr_set(g, v):
+                covered |= g.neighbours_view(u)
+            two_hop = nodes_at_distance(g, v, 2)
+            assert two_hop <= covered
+
+    def test_sole_provider_mandatory(self):
+        # 0-1-2: 1 is the only route from 0 to 2.
+        g = chain_graph(3)
+        assert 1 in mpr_set(g, 0)
+
+    def test_unknown_node(self):
+        with pytest.raises(NodeNotFoundError):
+            mpr_set(star_graph(2), 77)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=connected_graphs())
+    def test_always_covers(self, graph):
+        for v in graph.nodes():
+            covered = set()
+            for u in mpr_set(graph, v):
+                covered |= graph.neighbours_view(u)
+            assert nodes_at_distance(graph, v, 2) <= covered
+
+
+class TestMprBroadcast:
+    def test_star(self):
+        r = broadcast_mpr(star_graph(6), 0)
+        assert r.num_forward_nodes == 1
+        assert r.delivered_to_all(star_graph(6))
+
+    def test_precomputed_sets(self):
+        g = grid_graph(3, 3)
+        sets = all_mpr_sets(g)
+        r = broadcast_mpr(g, 4, mpr_sets=sets)
+        assert r.delivered_to_all(g)
+
+    def test_unknown_source(self):
+        with pytest.raises(NodeNotFoundError):
+            broadcast_mpr(star_graph(3), 9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=connected_graphs())
+    def test_full_delivery(self, graph):
+        r = broadcast_mpr(graph, 0)
+        assert r.delivered_to_all(graph)
+
+    @settings(max_examples=12, deadline=None)
+    @given(net=geometric_networks(min_nodes=15))
+    def test_beats_flooding_in_density(self, net):
+        mpr = broadcast_mpr(net.graph, 0)
+        flood = blind_flooding(net.graph, 0)
+        assert mpr.num_forward_nodes <= flood.num_forward_nodes
+        assert mpr.delivered_to_all(net.graph)

@@ -1,0 +1,96 @@
+"""Tests for the reliable (ARQ) forwarding-tree broadcast."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broadcast.reliable import broadcast_reliable_tree
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.errors import BroadcastError, NodeNotFoundError
+from repro.graph.generators import random_geometric_network
+
+from strategies import connected_graphs
+
+
+class TestIdealChannel:
+    def test_full_delivery_no_retries(self, fig3_clustering):
+        rb = broadcast_reliable_tree(fig3_clustering, 1, rng=0)
+        assert rb.result.delivered_to_all(fig3_clustering.graph)
+        assert rb.retries == 0
+        assert rb.gave_up == frozenset()
+        # Every data packet is acknowledged on an ideal channel.
+        assert rb.ack_transmissions >= rb.data_transmissions - 1
+
+    def test_member_source_ascends(self, fig3_clustering):
+        rb = broadcast_reliable_tree(fig3_clustering, 10, rng=0)
+        assert rb.result.delivered_to_all(fig3_clustering.graph)
+        assert 10 in rb.result.forward_nodes
+
+    def test_unknown_source(self, fig3_clustering):
+        with pytest.raises(NodeNotFoundError):
+            broadcast_reliable_tree(fig3_clustering, 77)
+
+    def test_bad_loss_rejected(self, fig3_clustering):
+        with pytest.raises(BroadcastError):
+            broadcast_reliable_tree(fig3_clustering, 1, loss_probability=1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=connected_graphs())
+    def test_full_delivery_any_topology(self, graph):
+        cs = lowest_id_clustering(graph)
+        rb = broadcast_reliable_tree(cs, 0, rng=1)
+        assert rb.result.delivered_to_all(graph)
+
+
+class TestLossyChannel:
+    @pytest.mark.parametrize("loss", [0.1, 0.3, 0.5])
+    def test_full_delivery_under_loss(self, loss):
+        rng = np.random.default_rng(int(loss * 100))
+        for _ in range(5):
+            net = random_geometric_network(30, 10.0, rng=rng)
+            cs = lowest_id_clustering(net.graph)
+            rb = broadcast_reliable_tree(
+                cs, 0, loss_probability=loss, rng=rng
+            )
+            assert rb.result.delivered_to_all(net.graph)
+            assert rb.gave_up == frozenset()
+
+    def test_retransmissions_grow_with_loss(self):
+        def mean_data(loss):
+            rng = np.random.default_rng(9)
+            totals = []
+            for _ in range(10):
+                net = random_geometric_network(30, 10.0, rng=rng)
+                cs = lowest_id_clustering(net.graph)
+                rb = broadcast_reliable_tree(
+                    cs, 0, loss_probability=loss, rng=rng
+                )
+                totals.append(rb.data_transmissions)
+            return float(np.mean(totals))
+
+        assert mean_data(0.0) < mean_data(0.2) < mean_data(0.4)
+
+    def test_retry_budget_exhaustion_recorded(self):
+        net = random_geometric_network(20, 8.0, rng=3)
+        cs = lowest_id_clustering(net.graph)
+        rb = broadcast_reliable_tree(
+            cs, 0, loss_probability=0.9, max_retries=1, rng=4
+        )
+        # With 90% loss and 1 retry, some hop virtually always fails.
+        assert rb.gave_up
+        assert not rb.result.delivered_to_all(net.graph)
+
+    def test_deterministic_given_seed(self):
+        net = random_geometric_network(25, 10.0, rng=5)
+        cs = lowest_id_clustering(net.graph)
+        a = broadcast_reliable_tree(cs, 0, loss_probability=0.3, rng=6)
+        b = broadcast_reliable_tree(cs, 0, loss_probability=0.3, rng=6)
+        assert a.data_transmissions == b.data_transmissions
+        assert a.result.received == b.result.received
+
+    def test_overhead_factor(self):
+        net = random_geometric_network(25, 10.0, rng=7)
+        cs = lowest_id_clustering(net.graph)
+        rb = broadcast_reliable_tree(cs, 0, loss_probability=0.2, rng=8)
+        assert rb.overhead_factor > 1.0

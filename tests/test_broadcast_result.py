@@ -1,0 +1,51 @@
+"""Tests for BroadcastResult accounting."""
+
+import pytest
+
+from repro.broadcast.result import BroadcastResult
+from repro.graph.adjacency import Graph
+
+
+def make_result(**overrides):
+    kwargs = dict(
+        source=0,
+        algorithm="test",
+        forward_nodes=frozenset({0, 1}),
+        received=frozenset({0, 1, 2}),
+        reception_time={0: 0, 1: 1, 2: 2},
+        transmissions=2,
+    )
+    kwargs.update(overrides)
+    return BroadcastResult(**kwargs)
+
+
+class TestInvariants:
+    def test_valid(self):
+        r = make_result()
+        assert r.num_forward_nodes == 2
+        assert r.latency == 2
+
+    def test_source_must_receive(self):
+        with pytest.raises(ValueError):
+            make_result(received=frozenset({1, 2}))
+
+    def test_forwarders_must_receive(self):
+        with pytest.raises(ValueError):
+            make_result(forward_nodes=frozenset({0, 9}))
+
+    def test_transmissions_lower_bound(self):
+        with pytest.raises(ValueError):
+            make_result(transmissions=1)
+
+    def test_transmissions_may_exceed_forwarders(self):
+        assert make_result(transmissions=5).transmissions == 5
+
+
+class TestDelivery:
+    def test_delivered_to_all(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        assert make_result().delivered_to_all(g)
+
+    def test_not_delivered(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        assert not make_result().delivered_to_all(g)

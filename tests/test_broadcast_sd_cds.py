@@ -1,0 +1,140 @@
+"""Tests for the dynamic (SD-CDS) backbone broadcast."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.broadcast.sd_cds import broadcast_sd
+from repro.broadcast.si_cds import broadcast_si
+from repro.backbone.static_backbone import build_static_backbone
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.coverage.policy import compute_all_coverage_sets
+from repro.errors import NodeNotFoundError
+from repro.graph.properties import is_connected_dominating_set
+from repro.types import CoveragePolicy, PruningLevel
+
+from strategies import connected_graphs, geometric_networks
+
+
+class TestPaperIllustration:
+    """Section 3's SD walkthrough from source 1, reproduced step by step."""
+
+    def test_seven_forward_nodes(self, fig3_clustering):
+        dyn = broadcast_sd(fig3_clustering, source=1)
+        assert dyn.result.forward_nodes == frozenset({1, 2, 3, 4, 6, 7, 9})
+        assert dyn.result.num_forward_nodes == 7
+
+    def test_source_selects_f1(self, fig3_clustering):
+        dyn = broadcast_sd(fig3_clustering, source=1)
+        assert dyn.forward_sets[1] == frozenset({6, 7})
+
+    def test_head2_prunes_to_empty(self, fig3_clustering):
+        # C(2) - C(1) - {1} = {1,3} - {2,3} - {1} = {} -> local broadcast.
+        dyn = broadcast_sd(fig3_clustering, source=1)
+        assert dyn.pruned_targets[2] == frozenset()
+        assert dyn.forward_sets[2] == frozenset()
+
+    def test_head3_keeps_head4(self, fig3_clustering):
+        # C(3) - C(1) - {1} = {1,2,4} - {2,3} - {1} = {4} -> selects 9.
+        dyn = broadcast_sd(fig3_clustering, source=1)
+        assert dyn.pruned_targets[3] == frozenset({4})
+        assert dyn.forward_sets[3] == frozenset({9})
+
+    def test_head4_prunes_to_empty(self, fig3_clustering):
+        dyn = broadcast_sd(fig3_clustering, source=1)
+        assert dyn.forward_sets[4] == frozenset()
+
+    def test_dynamic_beats_static_on_example(self, fig3_graph, fig3_clustering):
+        static = broadcast_si(
+            fig3_graph, build_static_backbone(fig3_clustering), 1
+        )
+        dyn = broadcast_sd(fig3_clustering, source=1)
+        assert dyn.result.num_forward_nodes < static.num_forward_nodes
+
+    def test_backbone_nodes_is_sd_cds(self, fig3_graph, fig3_clustering):
+        dyn = broadcast_sd(fig3_clustering, source=1)
+        assert is_connected_dominating_set(fig3_graph, dyn.backbone_nodes)
+
+
+class TestNonHeadSource:
+    def test_member_source_triggers_its_head(self, fig3_clustering):
+        dyn = broadcast_sd(fig3_clustering, source=10)
+        assert 10 in dyn.result.forward_nodes
+        assert 3 in dyn.forward_sets  # head of 10 ran a selection
+        assert dyn.result.delivered_to_all(fig3_clustering.graph)
+
+    def test_unknown_source(self, fig3_clustering):
+        with pytest.raises(NodeNotFoundError):
+            broadcast_sd(fig3_clustering, source=123)
+
+
+class TestPruningLevels:
+    @pytest.mark.parametrize("pruning", list(PruningLevel))
+    def test_full_delivery_each_level(self, fig3_clustering, pruning):
+        dyn = broadcast_sd(fig3_clustering, source=1, pruning=pruning)
+        assert dyn.result.delivered_to_all(fig3_clustering.graph)
+
+    def test_none_pruning_never_smaller_forward_sets(self, fig3_clustering):
+        full = broadcast_sd(fig3_clustering, source=1,
+                            pruning=PruningLevel.FULL)
+        none = broadcast_sd(fig3_clustering, source=1,
+                            pruning=PruningLevel.NONE)
+        assert (none.result.num_forward_nodes
+                >= full.result.num_forward_nodes)
+
+    def test_algorithm_label_mentions_pruning(self, fig3_clustering):
+        dyn = broadcast_sd(fig3_clustering, source=1,
+                           pruning=PruningLevel.BASIC)
+        assert "basic" in dyn.result.algorithm
+
+
+class TestCoverageReuse:
+    def test_precomputed_coverage_sets(self, fig3_clustering):
+        covs = compute_all_coverage_sets(fig3_clustering)
+        dyn = broadcast_sd(fig3_clustering, source=1, coverage_sets=covs)
+        assert dyn.result.num_forward_nodes == 7
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(graph=connected_graphs())
+    def test_full_delivery_both_policies(self, graph):
+        cs = lowest_id_clustering(graph)
+        for policy in CoveragePolicy:
+            dyn = broadcast_sd(cs, source=0, policy=policy)
+            assert dyn.result.delivered_to_all(graph)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=connected_graphs())
+    def test_all_heads_forward(self, graph):
+        cs = lowest_id_clustering(graph)
+        dyn = broadcast_sd(cs, source=graph.num_nodes - 1)
+        assert cs.clusterheads <= dyn.result.forward_nodes
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=connected_graphs())
+    def test_theorem2_backbone_is_cds(self, graph):
+        cs = lowest_id_clustering(graph)
+        dyn = broadcast_sd(cs, source=0)
+        assert is_connected_dominating_set(graph, dyn.backbone_nodes)
+
+    @settings(max_examples=20, deadline=None)
+    @given(net=geometric_networks())
+    def test_dynamic_not_worse_than_static_on_average_shape(self, net):
+        # Per-sample the dynamic forward set must never exceed the static
+        # backbone's forward set by more than the designation-race slack.
+        cs = lowest_id_clustering(net.graph)
+        static = broadcast_si(net.graph, build_static_backbone(cs), 0)
+        dyn = broadcast_sd(cs, source=0)
+        assert (dyn.result.num_forward_nodes
+                <= static.num_forward_nodes + 3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=connected_graphs())
+    def test_forward_nodes_heads_or_designated(self, graph):
+        cs = lowest_id_clustering(graph)
+        dyn = broadcast_sd(cs, source=0)
+        designated = set()
+        for f in dyn.forward_sets.values():
+            designated |= f
+        for v in dyn.result.forward_nodes:
+            assert v == 0 or cs.is_clusterhead(v) or v in designated

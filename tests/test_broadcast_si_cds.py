@@ -1,0 +1,79 @@
+"""Tests for SI-CDS broadcasting."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.backbone.mo_cds import build_mo_cds
+from repro.backbone.static_backbone import build_static_backbone
+from repro.broadcast.si_cds import broadcast_si
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.errors import NodeNotFoundError
+
+from strategies import connected_graphs
+
+
+class TestFigure3Illustration:
+    def test_nine_forwarders_from_source_1(self, fig3_graph, fig3_clustering):
+        # "In total, 9 nodes (nodes 1..9) will forward the packets."
+        bb = build_static_backbone(fig3_clustering)
+        r = broadcast_si(fig3_graph, bb, source=1)
+        assert r.forward_nodes == frozenset(range(1, 10))
+        assert r.num_forward_nodes == 9
+
+    def test_source_outside_backbone_also_forwards(self, fig3_graph,
+                                                   fig3_clustering):
+        bb = build_static_backbone(fig3_clustering)
+        r = broadcast_si(fig3_graph, bb, source=10)
+        assert 10 in r.forward_nodes
+        assert r.num_forward_nodes == 10  # backbone 9 + source
+
+    def test_full_delivery(self, fig3_graph, fig3_clustering):
+        bb = build_static_backbone(fig3_clustering)
+        for src in fig3_graph.nodes():
+            assert broadcast_si(fig3_graph, bb, src).delivered_to_all(fig3_graph)
+
+
+class TestGenericCds:
+    def test_accepts_bare_node_set(self, fig3_graph):
+        # Whole graph as CDS behaves like flooding.
+        r = broadcast_si(fig3_graph, fig3_graph.nodes(), source=1)
+        assert r.num_forward_nodes == fig3_graph.num_nodes
+
+    def test_algorithm_label_from_backbone(self, fig3_graph, fig3_clustering):
+        bb = build_static_backbone(fig3_clustering)
+        r = broadcast_si(fig3_graph, bb, source=1)
+        assert "static-backbone" in r.algorithm
+
+    def test_unknown_source(self, fig3_graph):
+        with pytest.raises(NodeNotFoundError):
+            broadcast_si(fig3_graph, [1], source=77)
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(graph=connected_graphs())
+    def test_full_delivery_any_source(self, graph):
+        cs = lowest_id_clustering(graph)
+        bb = build_static_backbone(cs)
+        for src in (0, graph.num_nodes - 1):
+            r = broadcast_si(graph, bb, src)
+            assert r.delivered_to_all(graph)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=connected_graphs())
+    def test_forward_count_is_cds_plus_source(self, graph):
+        # In a connected network, every CDS node receives and forwards.
+        cs = lowest_id_clustering(graph)
+        bb = build_mo_cds(cs)
+        src = graph.num_nodes - 1
+        r = broadcast_si(graph, bb, src)
+        assert r.forward_nodes == bb.nodes | {src}
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=connected_graphs())
+    def test_reception_times_monotone_along_forwarding(self, graph):
+        cs = lowest_id_clustering(graph)
+        bb = build_static_backbone(cs)
+        r = broadcast_si(graph, bb, 0)
+        for v, t in r.reception_time.items():
+            assert t <= graph.num_nodes

@@ -1,0 +1,77 @@
+"""Tests for the cluster graph and its strong-connectivity theorem."""
+
+from hypothesis import given, settings
+
+from repro.cluster.cluster_graph import (
+    build_cluster_graph,
+    cluster_graph_is_strongly_connected,
+)
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.coverage.policy import compute_all_coverage_sets
+from repro.types import CoveragePolicy
+
+from strategies import connected_graphs, geometric_networks
+
+
+class TestFigure4:
+    """The paper's Figure 4: cluster graphs of the Figure 3 network."""
+
+    def test_two_five_hop_edges(self, fig3_clustering):
+        succ = build_cluster_graph(fig3_clustering, CoveragePolicy.TWO_FIVE_HOP)
+        assert succ == {
+            1: {2, 3},
+            2: {1, 3},
+            3: {1, 2, 4},
+            4: {1, 3},
+        }
+
+    def test_two_five_hop_is_asymmetric(self, fig3_clustering):
+        # Figure 4(a): (4, 1) exists but (1, 4) does not.
+        succ = build_cluster_graph(fig3_clustering, CoveragePolicy.TWO_FIVE_HOP)
+        assert 1 in succ[4]
+        assert 4 not in succ[1]
+
+    def test_three_hop_edges_symmetric(self, fig3_clustering):
+        # Figure 4(b): with the 3-hop coverage set (1, 4) also exists.
+        succ = build_cluster_graph(fig3_clustering, CoveragePolicy.THREE_HOP)
+        assert 4 in succ[1]
+        for v, targets in succ.items():
+            for w in targets:
+                assert v in succ[w], f"({v},{w}) present but not ({w},{v})"
+
+
+class TestStrongConnectivity:
+    @settings(max_examples=50, deadline=None)
+    @given(graph=connected_graphs())
+    def test_wu_lou_theorem_two_five_hop(self, graph):
+        cs = lowest_id_clustering(graph)
+        assert cluster_graph_is_strongly_connected(cs, CoveragePolicy.TWO_FIVE_HOP)
+
+    @settings(max_examples=50, deadline=None)
+    @given(graph=connected_graphs())
+    def test_wu_lou_theorem_three_hop(self, graph):
+        cs = lowest_id_clustering(graph)
+        assert cluster_graph_is_strongly_connected(cs, CoveragePolicy.THREE_HOP)
+
+    @settings(max_examples=15, deadline=None)
+    @given(net=geometric_networks(max_nodes=30))
+    def test_on_geometric_networks(self, net):
+        cs = lowest_id_clustering(net.graph)
+        assert cluster_graph_is_strongly_connected(cs, CoveragePolicy.TWO_FIVE_HOP)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=connected_graphs())
+    def test_three_hop_supergraph_of_two_five(self, graph):
+        cs = lowest_id_clustering(graph)
+        s25 = build_cluster_graph(cs, CoveragePolicy.TWO_FIVE_HOP)
+        s3 = build_cluster_graph(cs, CoveragePolicy.THREE_HOP)
+        for v in s25:
+            assert s25[v] <= s3[v]
+
+    def test_reuses_precomputed_coverage(self, fig3_clustering):
+        covs = compute_all_coverage_sets(fig3_clustering,
+                                         CoveragePolicy.TWO_FIVE_HOP)
+        succ = build_cluster_graph(
+            fig3_clustering, CoveragePolicy.TWO_FIVE_HOP, coverage_sets=covs
+        )
+        assert succ[3] == {1, 2, 4}

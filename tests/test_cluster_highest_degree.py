@@ -1,0 +1,50 @@
+"""Tests for the highest-degree clustering extension."""
+
+from hypothesis import given, settings
+
+from repro.cluster.highest_degree import highest_degree_clustering
+from repro.graph.adjacency import Graph
+from repro.graph.generators import star_graph
+from repro.graph.properties import is_dominating_set, is_independent_set
+
+from strategies import connected_graphs
+
+
+class TestHighestDegree:
+    def test_star_hub_always_wins(self):
+        # Hub 4 has degree 4; under lowest-ID leaf 0 would win instead.
+        g = Graph(edges=[(4, 0), (4, 1), (4, 2), (4, 3)])
+        cs = highest_degree_clustering(g)
+        assert cs.clusterheads == frozenset({4})
+
+    def test_degree_tie_broken_by_lower_id(self):
+        g = Graph(edges=[(0, 1)])
+        cs = highest_degree_clustering(g)
+        assert cs.clusterheads == frozenset({0})
+
+    def test_members_join_best_priority_head(self):
+        # 5 adjacent to heads 0 (degree 3) and 1 (degree 2): joins 0.
+        g = Graph(edges=[(0, 5), (0, 6), (0, 7), (1, 5), (1, 8)])
+        cs = highest_degree_clustering(g)
+        assert cs.is_clusterhead(0)
+        assert cs.head_of[5] == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=connected_graphs())
+    def test_heads_form_independent_dominating_set(self, graph):
+        cs = highest_degree_clustering(graph)
+        assert is_independent_set(graph, cs.clusterheads)
+        assert is_dominating_set(graph, cs.clusterheads)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=connected_graphs(min_nodes=6, max_nodes=20))
+    def test_no_more_heads_than_lowest_id_on_stars(self, graph):
+        # Not a theorem in general, but both must at least cluster validly;
+        # this asserts the structures are internally consistent.
+        from repro.cluster.validate import validate_cluster_structure
+
+        validate_cluster_structure(highest_degree_clustering(graph))
+
+    def test_star_leaves_dominated(self):
+        cs = highest_degree_clustering(star_graph(9))
+        assert cs.num_clusters == 1

@@ -1,0 +1,98 @@
+"""Tests for lowest-ID clustering."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.cluster.validate import validate_cluster_structure
+from repro.graph.adjacency import Graph
+from repro.graph.generators import chain_graph, star_graph
+from repro.graph.properties import is_dominating_set, is_independent_set
+from repro.types import NodeRole
+
+from strategies import connected_graphs
+
+
+class TestFigure3Clustering:
+    def test_heads(self, fig3_clustering):
+        assert sorted(fig3_clustering.clusterheads) == [1, 2, 3, 4]
+
+    def test_memberships(self, fig3_clustering):
+        assert sorted(fig3_clustering.members(1)) == [5, 6, 7]
+        assert sorted(fig3_clustering.members(2)) == [8]
+        assert sorted(fig3_clustering.members(3)) == [9, 10]
+        assert sorted(fig3_clustering.members(4)) == []
+
+    def test_validates_as_lowest_id(self, fig3_clustering):
+        validate_cluster_structure(fig3_clustering, lowest_id=True)
+
+
+class TestSmallCases:
+    def test_single_node_is_head(self):
+        cs = lowest_id_clustering(Graph(nodes=[5]))
+        assert cs.clusterheads == frozenset({5})
+
+    def test_isolated_nodes_are_heads(self):
+        cs = lowest_id_clustering(Graph(nodes=[1, 2, 3]))
+        assert cs.clusterheads == frozenset({1, 2, 3})
+
+    def test_edge_lowest_wins(self):
+        cs = lowest_id_clustering(Graph(edges=[(3, 7)]))
+        assert cs.clusterheads == frozenset({3})
+        assert cs.head_of[7] == 3
+
+    def test_star_hub_not_head_if_high_id(self):
+        # Hub 0 has the lowest id, so it wins.
+        cs = lowest_id_clustering(star_graph(4))
+        assert cs.clusterheads == frozenset({0})
+
+    def test_star_with_low_id_leaf(self):
+        # Leaves 0..3 around hub 4: leaf 0 heads, hub joins it, other
+        # leaves (not adjacent to 0) become heads themselves.
+        g = Graph(edges=[(4, 0), (4, 1), (4, 2), (4, 3)])
+        cs = lowest_id_clustering(g)
+        assert cs.clusterheads == frozenset({0, 1, 2, 3})
+        assert cs.head_of[4] == 0
+
+    def test_chain_alternation(self):
+        cs = lowest_id_clustering(chain_graph(6))
+        assert cs.clusterheads == frozenset({0, 2, 4})
+        assert cs.head_of[1] == 0
+        assert cs.head_of[5] == 4
+
+    def test_member_joins_smallest_neighbouring_head(self):
+        # 5 is adjacent to heads 1 and 2; must join 1.
+        g = Graph(edges=[(1, 5), (2, 5), (1, 3), (2, 4)])
+        cs = lowest_id_clustering(g)
+        assert cs.head_of[5] == 1
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(graph=connected_graphs())
+    def test_heads_form_independent_dominating_set(self, graph):
+        cs = lowest_id_clustering(graph)
+        assert is_independent_set(graph, cs.clusterheads)
+        assert is_dominating_set(graph, cs.clusterheads)
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=connected_graphs())
+    def test_lowest_id_fixpoint(self, graph):
+        cs = lowest_id_clustering(graph)
+        validate_cluster_structure(cs, lowest_id=True)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=connected_graphs())
+    def test_node_zero_always_head(self, graph):
+        # Node 0 has the globally smallest id.
+        cs = lowest_id_clustering(graph)
+        assert cs.is_clusterhead(0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=connected_graphs())
+    def test_roles_partition(self, graph):
+        cs = lowest_id_clustering(graph)
+        for v in graph.nodes():
+            role = cs.role(v)
+            assert role in (NodeRole.CLUSTERHEAD, NodeRole.MEMBER)
+            assert (role is NodeRole.CLUSTERHEAD) == (v in cs.clusterheads)

@@ -1,0 +1,47 @@
+"""Tests for cluster-structure validation."""
+
+import pytest
+
+from repro.cluster.state import ClusterStructure
+from repro.cluster.validate import validate_cluster_structure
+from repro.errors import ClusteringError
+from repro.graph.adjacency import Graph
+
+
+def structure(edges, head_of):
+    return ClusterStructure(graph=Graph(edges=edges), head_of=head_of)
+
+
+class TestValidate:
+    def test_valid_structure_passes(self):
+        s = structure([(1, 2), (2, 3)], {1: 1, 2: 1, 3: 3})
+        validate_cluster_structure(s, lowest_id=True)
+
+    def test_adjacent_heads_rejected(self):
+        # Both 1 and 2 claim headship while adjacent.
+        s = structure([(1, 2), (1, 3), (2, 4)], {1: 1, 2: 2, 3: 1, 4: 2})
+        with pytest.raises(ClusteringError, match="independent"):
+            validate_cluster_structure(s)
+
+    def test_non_dominating_heads_impossible_via_type(self):
+        # A structure where some node has no head at all cannot even be
+        # constructed (head_of is total), so domination violations only
+        # arise through non-adjacent membership, which the type rejects.
+        with pytest.raises(ClusteringError):
+            structure([(1, 2), (2, 3)], {1: 1, 2: 1, 3: 1})
+
+    def test_lowest_id_violation_head(self):
+        # 2 heads a cluster although neighbour 1 also heads one: fine for a
+        # generic clustering only if non-adjacent; make them non-adjacent but
+        # give 3 the wrong head.
+        s = structure([(1, 3), (2, 3)], {1: 1, 2: 2, 3: 2})
+        validate_cluster_structure(s)  # generic invariants hold
+        with pytest.raises(ClusteringError, match="smallest neighbouring head"):
+            validate_cluster_structure(s, lowest_id=True)
+
+    def test_lowest_id_violation_wrong_role(self):
+        # 2 should have joined head 1 (they are adjacent), not lead.
+        s = structure([(1, 2), (2, 3), (1, 4), (3, 4)],
+                      {1: 1, 2: 2, 3: 2, 4: 1})
+        with pytest.raises(ClusteringError, match="smaller-id head neighbour"):
+            validate_cluster_structure(s, lowest_id=True)

@@ -1,0 +1,80 @@
+"""Tests for the CoverageSet value object."""
+
+import pytest
+
+from repro.coverage.entries import CoverageSet, freeze_witnesses
+from repro.errors import CoverageError
+from repro.types import CoveragePolicy
+
+
+def make_coverage(head=1, c2=(2,), c3=(3,), direct=None, indirect=None):
+    direct = direct if direct is not None else {2: frozenset({10})}
+    indirect = indirect if indirect is not None else {3: frozenset({(10, 11)})}
+    return CoverageSet(
+        head=head,
+        policy=CoveragePolicy.TWO_FIVE_HOP,
+        c2=frozenset(c2),
+        c3=frozenset(c3),
+        direct_witnesses=direct,
+        indirect_witnesses=indirect,
+    )
+
+
+class TestInvariants:
+    def test_valid_construction(self):
+        cov = make_coverage()
+        assert cov.all_targets == frozenset({2, 3})
+        assert cov.size == 2
+
+    def test_overlap_rejected(self):
+        with pytest.raises(CoverageError, match="overlap"):
+            make_coverage(c2=(2,), c3=(2,),
+                          indirect={2: frozenset({(10, 11)})})
+
+    def test_self_in_coverage_rejected(self):
+        with pytest.raises(CoverageError):
+            make_coverage(head=2)
+
+    def test_witness_key_mismatch_rejected(self):
+        with pytest.raises(CoverageError):
+            make_coverage(direct={})
+
+    def test_empty_witness_set_rejected(self):
+        with pytest.raises(CoverageError, match="no witness"):
+            make_coverage(direct={2: frozenset()})
+        with pytest.raises(CoverageError, match="no witness"):
+            make_coverage(indirect={3: frozenset()})
+
+
+class TestMaintenanceCost:
+    def test_counts_targets_and_witnesses(self):
+        cov = make_coverage(
+            direct={2: frozenset({10, 12})},
+            indirect={3: frozenset({(10, 11), (12, 13)})},
+        )
+        # 2 targets + 2 direct witnesses + 2 pairs.
+        assert cov.maintenance_cost() == 6
+
+
+class TestRestricted:
+    def test_restriction_drops_targets_and_witnesses(self):
+        cov = make_coverage()
+        sub = cov.restricted(frozenset({3}))
+        assert sub.c2 == frozenset()
+        assert sub.c3 == frozenset({3})
+        assert 2 not in sub.direct_witnesses
+
+    def test_restriction_to_empty(self):
+        sub = make_coverage().restricted(frozenset())
+        assert sub.size == 0
+
+    def test_restriction_ignores_foreign_targets(self):
+        sub = make_coverage().restricted(frozenset({2, 99}))
+        assert sub.all_targets == frozenset({2})
+
+
+class TestFreezeWitnesses:
+    def test_freezes_both(self):
+        d, i = freeze_witnesses({1: {5}}, {2: {(5, 6)}})
+        assert d == {1: frozenset({5})}
+        assert i == {2: frozenset({(5, 6)})}

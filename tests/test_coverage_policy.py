@@ -1,0 +1,40 @@
+"""Tests for the coverage-policy dispatcher."""
+
+import pytest
+
+from repro.coverage.policy import compute_all_coverage_sets, compute_coverage_set
+from repro.types import CoveragePolicy
+
+
+class TestDispatch:
+    def test_two_five_hop(self, fig3_clustering):
+        cov = compute_coverage_set(fig3_clustering, 4,
+                                   CoveragePolicy.TWO_FIVE_HOP)
+        assert cov.policy is CoveragePolicy.TWO_FIVE_HOP
+        assert cov.c3 == frozenset({1})
+
+    def test_three_hop(self, fig3_clustering):
+        cov = compute_coverage_set(fig3_clustering, 1,
+                                   CoveragePolicy.THREE_HOP)
+        assert cov.policy is CoveragePolicy.THREE_HOP
+        assert cov.c3 == frozenset({4})
+
+    def test_default_policy_is_two_five(self, fig3_clustering):
+        assert compute_coverage_set(fig3_clustering, 1).policy is \
+            CoveragePolicy.TWO_FIVE_HOP
+
+    def test_bad_policy_rejected(self, fig3_clustering):
+        with pytest.raises(ValueError):
+            compute_coverage_set(fig3_clustering, 1, "4-hop")  # type: ignore
+
+
+class TestComputeAll:
+    def test_covers_every_head(self, fig3_clustering):
+        covs = compute_all_coverage_sets(fig3_clustering)
+        assert set(covs) == {1, 2, 3, 4}
+        for head, cov in covs.items():
+            assert cov.head == head
+
+    def test_deterministic_key_order(self, fig3_clustering):
+        covs = compute_all_coverage_sets(fig3_clustering)
+        assert list(covs) == [1, 2, 3, 4]

@@ -1,0 +1,100 @@
+"""Tests for the 3-hop coverage set."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.coverage.three_hop import three_hop_coverage
+from repro.coverage.two_five_hop import two_five_hop_coverage
+from repro.errors import CoverageError
+from repro.graph.adjacency import Graph
+from repro.graph.traversal import bfs_distances
+
+from strategies import connected_graphs
+
+
+class TestFigure3Example:
+    def test_c1_includes_distance3_head4(self, fig3_clustering):
+        # Under 3-hop coverage, head 1 must also cover head 4 (distance 3
+        # via 5-9 or 7-3... via nodes 7,3? 3 is a head; via (5,9)).
+        cov = three_hop_coverage(fig3_clustering, 1)
+        assert cov.c2 == frozenset({2, 3})
+        assert cov.c3 == frozenset({4})
+
+    def test_c1_witness_pair(self, fig3_clustering):
+        cov = three_hop_coverage(fig3_clustering, 1)
+        assert (5, 9) in cov.indirect_witnesses[4]
+
+    def test_c4_same_as_two_five(self, fig3_clustering):
+        # For head 4 the two definitions coincide on this topology.
+        c3h = three_hop_coverage(fig3_clustering, 4)
+        c25 = two_five_hop_coverage(fig3_clustering, 4)
+        assert c3h.all_targets == c25.all_targets
+
+
+class TestGuards:
+    def test_non_head_rejected(self, fig3_clustering):
+        with pytest.raises(CoverageError):
+            three_hop_coverage(fig3_clustering, 9)
+
+    def test_isolated_head(self):
+        cs = lowest_id_clustering(Graph(nodes=[0]))
+        assert three_hop_coverage(cs, 0).size == 0
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(graph=connected_graphs())
+    def test_c3_is_exactly_distance_three_heads(self, graph):
+        cs = lowest_id_clustering(graph)
+        for head in cs.sorted_heads():
+            cov = three_hop_coverage(cs, head)
+            dist = bfs_distances(graph, head, max_depth=3)
+            assert cov.c3 == {
+                h for h in cs.clusterheads if dist.get(h) == 3
+            }
+
+    @settings(max_examples=50, deadline=None)
+    @given(graph=connected_graphs())
+    def test_superset_of_two_five_hop(self, graph):
+        cs = lowest_id_clustering(graph)
+        for head in cs.sorted_heads():
+            assert (
+                two_five_hop_coverage(cs, head).all_targets
+                <= three_hop_coverage(cs, head).all_targets
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(graph=connected_graphs())
+    def test_symmetry(self, graph):
+        # "When the 3-hop coverage set is applied ... both directed links
+        # (v, w) and (w, v) exist."
+        cs = lowest_id_clustering(graph)
+        covs = {h: three_hop_coverage(cs, h) for h in cs.sorted_heads()}
+        for v, cov in covs.items():
+            for w in cov.all_targets:
+                assert v in covs[w].all_targets
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=connected_graphs())
+    def test_witness_paths_are_real(self, graph):
+        cs = lowest_id_clustering(graph)
+        for head in cs.sorted_heads():
+            cov = three_hop_coverage(cs, head)
+            for ch, pairs in cov.indirect_witnesses.items():
+                assert pairs
+                for v, w in pairs:
+                    assert graph.has_edge(head, v)
+                    assert graph.has_edge(v, w)
+                    assert graph.has_edge(w, ch)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=connected_graphs())
+    def test_maintenance_cost_at_least_two_five(self, graph):
+        # The paper's motivation for 2.5-hop: cheaper maintenance.
+        cs = lowest_id_clustering(graph)
+        for head in cs.sorted_heads():
+            assert (
+                three_hop_coverage(cs, head).maintenance_cost()
+                >= two_five_hop_coverage(cs, head).maintenance_cost()
+            )

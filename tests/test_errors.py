@@ -1,0 +1,41 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(errors.ConfigurationError, ValueError)
+
+    def test_node_not_found_is_key_error(self):
+        assert issubclass(errors.NodeNotFoundError, KeyError)
+
+    def test_node_not_found_carries_node(self):
+        err = errors.NodeNotFoundError(42)
+        assert err.node == 42
+        assert "42" in str(err)
+
+    def test_protocol_error_is_simulation_error(self):
+        assert issubclass(errors.ProtocolError, errors.SimulationError)
+
+    def test_sample_budget_error_fields(self):
+        err = errors.SampleBudgetExceededError(
+            trials=100, half_width_ratio=0.2, target=0.05
+        )
+        assert err.trials == 100
+        assert err.half_width_ratio == 0.2
+        assert err.target == 0.05
+        assert "100 trials" in str(err)
+
+    def test_catching_base_catches_subclasses(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.BroadcastError("x")

@@ -1,0 +1,60 @@
+"""Tests for repro.geometry.area."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.area import Area
+
+
+class TestConstruction:
+    def test_paper_area(self):
+        a = Area.paper()
+        assert a.width == 100.0 and a.height == 100.0
+
+    def test_size(self):
+        assert Area(20, 5).size == 100.0
+
+    def test_diagonal(self):
+        assert Area(3, 4).diagonal == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("w,h", [(0, 10), (10, 0), (-1, 10), (10, -2)])
+    def test_rejects_non_positive(self, w, h):
+        with pytest.raises(GeometryError):
+            Area(w, h)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(GeometryError):
+            Area(float("inf"), 10)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Area(1, 1).width = 5  # type: ignore[misc]
+
+
+class TestContains:
+    def test_inside_and_outside(self):
+        a = Area(10, 10)
+        pts = np.array([[5, 5], [10, 10], [0, 0], [-0.1, 5], [5, 10.1]])
+        assert a.contains(pts).tolist() == [True, True, True, False, False]
+
+    def test_shape_validation(self):
+        with pytest.raises(GeometryError):
+            Area(10, 10).contains(np.zeros((3, 3)))
+
+
+class TestClamp:
+    def test_clamps_out_of_range(self):
+        a = Area(10, 10)
+        out = a.clamp(np.array([[-5.0, 5.0], [12.0, -1.0]]))
+        assert out.tolist() == [[0.0, 5.0], [10.0, 0.0]]
+
+    def test_returns_copy(self):
+        pts = np.array([[1.0, 1.0]])
+        out = Area(10, 10).clamp(pts)
+        out[0, 0] = 99.0
+        assert pts[0, 0] == 1.0
+
+    def test_shape_validation(self):
+        with pytest.raises(GeometryError):
+            Area(10, 10).clamp(np.zeros(4))

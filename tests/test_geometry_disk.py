@@ -1,0 +1,108 @@
+"""Tests for unit-disk range computations and degree calibration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GeometryError
+from repro.geometry.area import Area
+from repro.geometry.disk import (
+    calibrate_range_empirical,
+    expected_degree,
+    mean_degree_of,
+    pairwise_distances,
+    range_for_target_degree,
+)
+
+
+class TestPairwiseDistances:
+    def test_symmetric_zero_diagonal(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [6.0, 8.0]])
+        d = pairwise_distances(pts)
+        assert d[0, 0] == 0.0
+        assert d[0, 1] == pytest.approx(5.0)
+        assert np.allclose(d, d.T)
+
+    def test_bad_shape(self):
+        with pytest.raises(GeometryError):
+            pairwise_distances(np.zeros(5))
+
+
+class TestRangeForTargetDegree:
+    def test_inverts_expected_degree(self):
+        r = range_for_target_degree(50, 6.0)
+        assert expected_degree(50, r, Area.paper()) == pytest.approx(6.0)
+
+    def test_paper_magnitude(self):
+        # n=100, d=6 in 100x100: r = sqrt(6*10^4 / (99 pi)) ~ 13.9
+        r = range_for_target_degree(100, 6.0)
+        assert 13.0 < r < 15.0
+
+    def test_denser_target_larger_range(self):
+        assert range_for_target_degree(50, 18.0) > range_for_target_degree(50, 6.0)
+
+    def test_rejects_single_node(self):
+        with pytest.raises(ConfigurationError):
+            range_for_target_degree(1, 3.0)
+
+    @pytest.mark.parametrize("d", [0.0, -2.0, 100.0])
+    def test_rejects_infeasible_degree(self, d):
+        with pytest.raises(ConfigurationError):
+            range_for_target_degree(50, d)
+
+
+class TestMeanDegree:
+    def test_two_nodes_in_range(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assert mean_degree_of(pts, 1.5) == 1.0
+
+    def test_strict_inequality_at_radius(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assert mean_degree_of(pts, 1.0) == 0.0
+
+    def test_single_node(self):
+        assert mean_degree_of(np.array([[1.0, 1.0]]), 5.0) == 0.0
+
+
+class TestEmpiricalCalibration:
+    def test_hits_target_within_tolerance(self):
+        target = 8.0
+        r = calibrate_range_empirical(60, target, samples=8, tolerance=0.05, rng=1)
+        measured = np.mean(
+            [
+                mean_degree_of(
+                    np.random.default_rng(s).random((60, 2)) * 100.0, r
+                )
+                for s in range(30)
+            ]
+        )
+        assert measured == pytest.approx(target, rel=0.15)
+
+    def test_calibrated_exceeds_analytic(self):
+        # Border truncation forces a larger range than the analytic formula.
+        analytic = range_for_target_degree(60, 8.0)
+        empirical = calibrate_range_empirical(60, 8.0, samples=8, rng=1)
+        assert empirical > analytic
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            calibrate_range_empirical(10, 3.0, samples=0)
+        with pytest.raises(ConfigurationError):
+            calibrate_range_empirical(10, 3.0, tolerance=1.5)
+
+
+class TestExpectedDegree:
+    def test_formula(self):
+        area = Area(10, 10)
+        assert expected_degree(11, 1.0, area) == pytest.approx(
+            10 * math.pi / 100.0
+        )
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ConfigurationError):
+            expected_degree(0, 1.0, Area.paper())
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(GeometryError):
+            expected_degree(5, 0.0, Area.paper())

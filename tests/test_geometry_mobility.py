@@ -1,0 +1,106 @@
+"""Tests for mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.area import Area
+from repro.geometry.mobility import RandomWalk, RandomWaypoint, clamp_to_area
+from repro.geometry.placement import uniform_placement
+
+
+class TestClampToArea:
+    def test_reflects_negative(self):
+        area = Area(10, 10)
+        out = clamp_to_area(np.array([[-2.0, 5.0]]), area)
+        assert out[0].tolist() == [2.0, 5.0]
+
+    def test_reflects_over_limit(self):
+        area = Area(10, 10)
+        out = clamp_to_area(np.array([[12.0, 5.0]]), area)
+        assert out[0].tolist() == [8.0, 5.0]
+
+    def test_inside_unchanged(self):
+        area = Area(10, 10)
+        out = clamp_to_area(np.array([[3.0, 7.0]]), area)
+        assert out[0].tolist() == [3.0, 7.0]
+
+    def test_multiple_folds(self):
+        area = Area(10, 10)
+        out = clamp_to_area(np.array([[23.0, 0.0]]), area)
+        assert 0.0 <= out[0, 0] <= 10.0
+
+
+class TestRandomWalk:
+    def test_step_distance_equals_speed_dt(self):
+        area = Area(1000, 1000)
+        walk = RandomWalk(speed=2.0, area=area, rng=0)
+        pts = np.full((50, 2), 500.0)
+        moved = walk.step(pts, dt=3.0)
+        dist = np.linalg.norm(moved - pts, axis=1)
+        assert np.allclose(dist, 6.0)
+
+    def test_stays_in_area(self):
+        area = Area(10, 10)
+        walk = RandomWalk(speed=5.0, area=area, rng=1)
+        pts = uniform_placement(40, area, rng=2)
+        for _ in range(20):
+            pts = walk.step(pts, 1.0)
+            assert area.contains(pts).all()
+
+    def test_zero_speed_is_stationary(self):
+        walk = RandomWalk(speed=0.0, rng=0)
+        pts = uniform_placement(5, rng=0)
+        assert np.allclose(walk.step(pts, 1.0), pts)
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalk(speed=-1.0)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalk(speed=1.0).step(np.zeros((1, 2)), -1.0)
+
+
+class TestRandomWaypoint:
+    def test_moves_toward_targets(self):
+        model = RandomWaypoint(speed_range=(1.0, 1.0), area=Area(100, 100), rng=0)
+        pts = uniform_placement(20, Area(100, 100), rng=1)
+        moved = model.step(pts, dt=1.0)
+        dist = np.linalg.norm(moved - pts, axis=1)
+        assert (dist <= 1.0 + 1e-9).all()
+        assert dist.max() > 0.0
+
+    def test_stays_in_area_long_run(self):
+        area = Area(20, 20)
+        model = RandomWaypoint(speed_range=(0.5, 3.0), area=area, rng=3)
+        pts = uniform_placement(15, area, rng=4)
+        for _ in range(50):
+            pts = model.step(pts, 2.0)
+            assert area.contains(pts).all()
+
+    def test_pause_slows_progress(self):
+        area = Area(50, 50)
+        fast = RandomWaypoint(speed_range=(1.0, 1.0), pause_time=0.0,
+                              area=area, rng=5)
+        slow = RandomWaypoint(speed_range=(1.0, 1.0), pause_time=10.0,
+                              area=area, rng=5)
+        pts = uniform_placement(30, area, rng=6)
+        moved_fast = pts.copy()
+        moved_slow = pts.copy()
+        for _ in range(40):
+            moved_fast = fast.step(moved_fast, 1.0)
+            moved_slow = slow.step(moved_slow, 1.0)
+        travelled_fast = np.linalg.norm(moved_fast - pts, axis=1).sum()
+        travelled_slow = np.linalg.norm(moved_slow - pts, axis=1).sum()
+        assert travelled_slow < travelled_fast
+
+    def test_speed_range_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomWaypoint(speed_range=(0.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            RandomWaypoint(speed_range=(2.0, 1.0))
+
+    def test_negative_pause_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomWaypoint(pause_time=-1.0)

@@ -1,0 +1,90 @@
+"""Tests for node placement strategies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.area import Area
+from repro.geometry.placement import (
+    chain_placement,
+    grid_placement,
+    hotspot_placement,
+    uniform_placement,
+)
+
+
+class TestUniform:
+    def test_shape_and_bounds(self):
+        pts = uniform_placement(200, Area(50, 20), rng=0)
+        assert pts.shape == (200, 2)
+        assert (pts[:, 0] >= 0).all() and (pts[:, 0] <= 50).all()
+        assert (pts[:, 1] >= 0).all() and (pts[:, 1] <= 20).all()
+
+    def test_deterministic_with_seed(self):
+        assert np.allclose(uniform_placement(10, rng=5), uniform_placement(10, rng=5))
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ConfigurationError):
+            uniform_placement(0)
+
+    def test_spread_over_area(self):
+        pts = uniform_placement(500, Area(100, 100), rng=3)
+        # Mean should be near the centre for a genuinely uniform draw.
+        assert np.allclose(pts.mean(axis=0), [50, 50], atol=6)
+
+
+class TestGrid:
+    def test_exact_lattice(self):
+        pts = grid_placement(9, Area(30, 30))
+        assert pts.shape == (9, 2)
+        xs = sorted(set(np.round(pts[:, 0], 6)))
+        assert xs == [5.0, 15.0, 25.0]
+
+    def test_non_square_count(self):
+        pts = grid_placement(7, Area(10, 10))
+        assert pts.shape == (7, 2)
+
+    def test_jitter_stays_in_area(self):
+        area = Area(10, 10)
+        pts = grid_placement(25, area, jitter=0.9, rng=0)
+        assert area.contains(pts).all()
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_placement(4, jitter=-0.1)
+
+
+class TestChain:
+    def test_spacing(self):
+        pts = chain_placement(5, 2.0, Area(100, 100))
+        gaps = np.linalg.norm(np.diff(pts, axis=0), axis=1)
+        assert np.allclose(gaps, 2.0)
+
+    def test_too_long_chain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            chain_placement(1000, 5.0, Area(10, 10))
+
+    def test_rejects_non_positive_spacing(self):
+        with pytest.raises(ConfigurationError):
+            chain_placement(5, 0.0)
+
+
+class TestHotspot:
+    def test_in_area(self):
+        area = Area(40, 40)
+        pts = hotspot_placement(120, area, hotspots=2, rng=7)
+        assert pts.shape == (120, 2)
+        assert area.contains(pts).all()
+
+    def test_clustered_more_than_uniform(self):
+        area = Area(100, 100)
+        hot = hotspot_placement(300, area, hotspots=2, spread=0.03, rng=0)
+        uni = uniform_placement(300, area, rng=0)
+        # Mean nearest-centroid dispersion is smaller for hotspot placement.
+        assert hot.std(axis=0).mean() < uni.std(axis=0).mean()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            hotspot_placement(10, hotspots=0)
+        with pytest.raises(ConfigurationError):
+            hotspot_placement(10, spread=0.0)

@@ -1,0 +1,65 @@
+"""Tests for unit disk graph construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.graph.build import unit_disk_graph
+
+
+class TestBasics:
+    def test_two_nodes_in_range(self):
+        g = unit_disk_graph(np.array([[0.0, 0.0], [1.0, 0.0]]), 1.5)
+        assert g.has_edge(0, 1)
+
+    def test_strict_inequality(self):
+        # Paper: neighbours iff distance is *less than* r.
+        g = unit_disk_graph(np.array([[0.0, 0.0], [1.0, 0.0]]), 1.0)
+        assert not g.has_edge(0, 1)
+
+    def test_empty_and_single(self):
+        assert unit_disk_graph(np.zeros((0, 2)), 1.0).num_nodes == 0
+        assert unit_disk_graph(np.zeros((1, 2)), 1.0).num_nodes == 1
+
+    def test_custom_ids(self):
+        g = unit_disk_graph(
+            np.array([[0.0, 0.0], [0.5, 0.0]]), 1.0, ids=[10, 20]
+        )
+        assert g.has_edge(10, 20)
+        assert set(g.nodes()) == {10, 20}
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(GeometryError):
+            unit_disk_graph(np.zeros((2, 2)), 1.0, ids=[1, 1])
+
+    def test_id_count_mismatch_rejected(self):
+        with pytest.raises(GeometryError):
+            unit_disk_graph(np.zeros((2, 2)), 1.0, ids=[1])
+
+    @pytest.mark.parametrize("r", [0.0, -1.0, float("inf")])
+    def test_bad_radius_rejected(self, r):
+        with pytest.raises(GeometryError):
+            unit_disk_graph(np.zeros((2, 2)), r)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(GeometryError):
+            unit_disk_graph(np.zeros((2, 2)), 1.0, method="magic")
+
+
+class TestMethodEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 80),
+           radius=st.floats(0.05, 0.6))
+    def test_dense_equals_grid(self, seed, n, radius):
+        pts = np.random.default_rng(seed).random((n, 2))
+        dense = unit_disk_graph(pts, radius, method="dense")
+        grid = unit_disk_graph(pts, radius, method="grid")
+        assert dense == grid
+
+    def test_auto_picks_something_valid(self):
+        pts = np.random.default_rng(0).random((30, 2))
+        auto = unit_disk_graph(pts, 0.3, method="auto")
+        dense = unit_disk_graph(pts, 0.3, method="dense")
+        assert auto == dense

@@ -1,0 +1,69 @@
+"""Tests for the Network value object."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.area import Area
+from repro.graph.network import Network
+
+
+@pytest.fixture
+def net3():
+    pts = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 0.0]])
+    return Network.from_positions(pts, 1.5, area=Area(10, 10))
+
+
+class TestFromPositions:
+    def test_graph_built(self, net3):
+        assert net3.graph.has_edge(0, 1)
+        assert not net3.graph.has_edge(1, 2)
+        assert net3.num_nodes == 3
+
+    def test_positions_stored(self, net3):
+        assert net3.positions[2] == (5.0, 0.0)
+
+    def test_custom_ids(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        net = Network.from_positions(pts, 2.0, ids=[7, 3])
+        assert net.graph.has_edge(3, 7)
+        assert net.positions[7] == (0.0, 0.0)
+
+    def test_position_array_roundtrip(self, net3):
+        arr = net3.position_array()
+        assert arr.shape == (3, 2)
+        assert arr[1].tolist() == [1.0, 0.0]
+
+    def test_position_array_custom_order(self, net3):
+        arr = net3.position_array(order=[2, 0, 1])
+        assert arr[0].tolist() == [5.0, 0.0]
+
+
+class TestValidation:
+    def test_mismatched_positions_rejected(self, net3):
+        with pytest.raises(GeometryError):
+            Network(graph=net3.graph, positions={0: (0, 0)}, radius=1.0)
+
+    def test_bad_radius_rejected(self, net3):
+        with pytest.raises(GeometryError):
+            Network(graph=net3.graph, positions=net3.positions, radius=0.0)
+
+
+class TestMoved:
+    def test_rebuilds_graph(self, net3):
+        moved = net3.moved(np.array([[0.0, 0.0], [4.0, 0.0], [5.0, 0.0]]))
+        assert not moved.graph.has_edge(0, 1)
+        assert moved.graph.has_edge(1, 2)
+
+    def test_original_untouched(self, net3):
+        net3.moved(np.array([[0.0, 0.0], [4.0, 0.0], [5.0, 0.0]]))
+        assert net3.graph.has_edge(0, 1)
+
+    def test_keeps_radius_and_area(self, net3):
+        moved = net3.moved(net3.position_array())
+        assert moved.radius == net3.radius
+        assert moved.area == net3.area
+
+    def test_shape_mismatch_rejected(self, net3):
+        with pytest.raises(GeometryError):
+            net3.moved(np.zeros((2, 2)))

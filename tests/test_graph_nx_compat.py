@@ -1,0 +1,53 @@
+"""Tests for the networkx bridge."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.generators import paper_figure3_graph
+from repro.graph.nx_compat import from_networkx, to_networkx
+
+
+class TestToNetworkx:
+    def test_roundtrip_structure(self):
+        g = paper_figure3_graph()
+        nxg = to_networkx(g)
+        assert nxg.number_of_nodes() == g.num_nodes
+        assert nxg.number_of_edges() == g.num_edges
+        assert from_networkx(nxg) == g
+
+    def test_isolated_nodes_survive(self):
+        g = Graph(nodes=[0, 1], edges=[])
+        assert to_networkx(g).number_of_nodes() == 2
+
+    def test_networkx_agrees_on_connectivity(self):
+        g = paper_figure3_graph()
+        assert nx.is_connected(to_networkx(g))
+
+
+class TestFromNetworkx:
+    def test_non_integer_ids_rejected(self):
+        nxg = nx.Graph()
+        nxg.add_edge("a", "b")
+        with pytest.raises(TypeError):
+            from_networkx(nxg)
+
+    def test_bool_ids_rejected(self):
+        nxg = nx.Graph()
+        nxg.add_node(True)
+        with pytest.raises(TypeError):
+            from_networkx(nxg)
+
+    def test_self_loops_dropped(self):
+        nxg = nx.Graph()
+        nxg.add_edge(1, 1)
+        nxg.add_edge(1, 2)
+        g = from_networkx(nxg)
+        assert g.num_edges == 1
+
+    def test_random_gnp_roundtrip(self):
+        nxg = nx.gnp_random_graph(25, 0.2, seed=42)
+        g = from_networkx(nxg)
+        assert g.num_edges == nxg.number_of_edges()
+        back = to_networkx(g)
+        assert nx.utils.graphs_equal(back, nxg)

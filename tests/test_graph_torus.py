@@ -1,0 +1,114 @@
+"""Tests for toroidal (border-free) unit disk graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.area import Area
+from repro.geometry.disk import expected_degree
+from repro.graph.build import unit_disk_graph
+from repro.graph.generators import random_geometric_network
+from repro.graph.network import Network
+from repro.graph.properties import degree_stats
+
+
+class TestTorusBuild:
+    def test_wraps_horizontally(self):
+        area = Area(10, 10)
+        pts = np.array([[0.5, 5.0], [9.5, 5.0]])
+        planar = unit_disk_graph(pts, 2.0)
+        wrapped = unit_disk_graph(pts, 2.0, torus=area)
+        assert not planar.has_edge(0, 1)
+        assert wrapped.has_edge(0, 1)  # distance 1 around the seam
+
+    def test_wraps_vertically(self):
+        area = Area(10, 10)
+        pts = np.array([[5.0, 0.2], [5.0, 9.8]])
+        assert unit_disk_graph(pts, 1.0, torus=area).has_edge(0, 1)
+
+    def test_wraps_diagonally(self):
+        area = Area(10, 10)
+        pts = np.array([[0.3, 0.3], [9.7, 9.7]])
+        # Wrapped displacement is (0.6, 0.6), length ~0.85.
+        assert unit_disk_graph(pts, 1.0, torus=area).has_edge(0, 1)
+
+    def test_interior_pairs_unchanged(self):
+        area = Area(100, 100)
+        rng = np.random.default_rng(0)
+        # Keep everything at least r away from the border.
+        pts = 20.0 + rng.random((40, 2)) * 60.0
+        planar = unit_disk_graph(pts, 10.0)
+        wrapped = unit_disk_graph(pts, 10.0, torus=area)
+        assert planar == wrapped
+
+    def test_grid_method_rejected(self):
+        with pytest.raises(GeometryError, match="dense"):
+            unit_disk_graph(np.zeros((3, 2)), 1.0, method="grid",
+                            torus=Area(10, 10))
+
+    def test_strict_inequality_still_applies(self):
+        area = Area(10, 10)
+        pts = np.array([[0.0, 5.0], [9.0, 5.0]])  # wrapped distance exactly 1
+        assert not unit_disk_graph(pts, 1.0, torus=area).has_edge(0, 1)
+
+
+class TestTorusNetwork:
+    def test_moved_keeps_torus(self):
+        net = random_geometric_network(20, 8.0, rng=1, torus=True)
+        assert net.torus
+        moved = net.moved(net.position_array())
+        assert moved.torus
+        assert moved.graph == net.graph
+
+    def test_torus_degree_matches_analytic_formula(self):
+        # The whole point: without borders the calibration is exact.
+        n, d = 150, 10.0
+        rng = np.random.default_rng(2)
+        degrees_torus, degrees_plane = [], []
+        for _ in range(15):
+            t = random_geometric_network(n, d, rng=rng, torus=True)
+            p = random_geometric_network(n, d, rng=rng, torus=False)
+            degrees_torus.append(degree_stats(t.graph).mean)
+            degrees_plane.append(degree_stats(p.graph).mean)
+        mean_torus = float(np.mean(degrees_torus))
+        mean_plane = float(np.mean(degrees_plane))
+        assert mean_torus == pytest.approx(d, rel=0.06)
+        # Border truncation depresses the planar degree below the torus one.
+        assert mean_plane < mean_torus
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_torus_is_supergraph_of_plane(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((25, 2)) * 50.0
+        area = Area(50, 50)
+        planar = unit_disk_graph(pts, 8.0)
+        wrapped = unit_disk_graph(pts, 8.0, torus=area)
+        for u, v in planar.edges():
+            assert wrapped.has_edge(u, v)
+
+
+class TestTorusPipeline:
+    """The whole pipeline runs unchanged on border-free topologies."""
+
+    def test_backbone_and_broadcasts_on_torus(self):
+        from repro.backbone.static_backbone import build_static_backbone
+        from repro.backbone.verify import verify_backbone
+        from repro.broadcast.sd_cds import broadcast_sd
+        from repro.broadcast.si_cds import broadcast_si
+        from repro.cluster.lowest_id import lowest_id_clustering
+        from repro.routing.cluster_routing import backbone_route
+
+        net = random_geometric_network(50, 10.0, rng=11, torus=True)
+        clustering = lowest_id_clustering(net.graph)
+        backbone = build_static_backbone(clustering)
+        verify_backbone(backbone)
+        si = broadcast_si(net.graph, backbone, 0)
+        dyn = broadcast_sd(clustering, 0)
+        assert si.delivered_to_all(net.graph)
+        assert dyn.result.delivered_to_all(net.graph)
+        route = backbone_route(backbone, 0, net.graph.nodes()[-1])
+        for a, b in zip(route, route[1:]):
+            assert net.graph.has_edge(a, b)

@@ -1,0 +1,96 @@
+"""Tests for BFS traversals and k-hop neighbourhoods."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import chain_graph, grid_graph
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_tree,
+    eccentricity,
+    k_hop_neighbourhood,
+    nodes_at_distance,
+    shortest_path,
+)
+
+
+@pytest.fixture
+def chain10():
+    return chain_graph(10)
+
+
+class TestBfsDistances:
+    def test_chain_distances(self, chain10):
+        dist = bfs_distances(chain10, 0)
+        assert dist[0] == 0 and dist[9] == 9
+
+    def test_max_depth_truncates(self, chain10):
+        dist = bfs_distances(chain10, 0, max_depth=3)
+        assert set(dist) == {0, 1, 2, 3}
+
+    def test_unreachable_absent(self):
+        g = Graph(nodes=[0, 1], edges=[])
+        assert 1 not in bfs_distances(g, 0)
+
+    def test_unknown_source(self, chain10):
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(chain10, 99)
+
+
+class TestKHop:
+    def test_includes_self(self, chain10):
+        # The paper's N^k(v) includes v itself.
+        assert 5 in k_hop_neighbourhood(chain10, 5, 2)
+
+    def test_k0_is_self_only(self, chain10):
+        assert k_hop_neighbourhood(chain10, 4, 0) == {4}
+
+    def test_chain_khop(self, chain10):
+        assert k_hop_neighbourhood(chain10, 5, 2) == {3, 4, 5, 6, 7}
+
+    def test_negative_k_rejected(self, chain10):
+        with pytest.raises(ValueError):
+            k_hop_neighbourhood(chain10, 0, -1)
+
+    def test_nodes_at_distance(self, chain10):
+        assert nodes_at_distance(chain10, 5, 2) == {3, 7}
+
+    def test_nodes_at_distance_zero(self, chain10):
+        assert nodes_at_distance(chain10, 5, 0) == {5}
+
+
+class TestShortestPath:
+    def test_trivial(self, chain10):
+        assert shortest_path(chain10, 3, 3) == [3]
+
+    def test_chain_path(self, chain10):
+        assert shortest_path(chain10, 2, 5) == [2, 3, 4, 5]
+
+    def test_unreachable_is_none(self):
+        g = Graph(nodes=[0, 1])
+        assert shortest_path(g, 0, 1) is None
+
+    def test_grid_path_length(self):
+        g = grid_graph(4, 4)
+        path = shortest_path(g, 0, 15)
+        assert path is not None
+        assert len(path) == 7  # 6 hops manhattan distance
+
+    def test_path_edges_exist(self):
+        g = grid_graph(3, 5)
+        path = shortest_path(g, 0, 14)
+        assert path is not None
+        for u, v in zip(path, path[1:]):
+            assert g.has_edge(u, v)
+
+
+class TestBfsTreeAndEccentricity:
+    def test_parents_consistent(self, chain10):
+        parent = bfs_tree(chain10, 0)
+        assert parent[0] is None
+        assert parent[5] == 4
+
+    def test_eccentricity(self, chain10):
+        assert eccentricity(chain10, 0) == 9
+        assert eccentricity(chain10, 5) == 5

@@ -1,0 +1,129 @@
+"""End-to-end replay of the paper's Section 3 worked example (Figure 3).
+
+Every number the paper states about the 10-node example network is asserted
+here, from the CH_HOP message contents through the final forward-node counts
+of both backbones — the strongest single check that the implementation is
+the paper's algorithm and not a variant.
+"""
+
+import pytest
+
+from repro.backbone.static_backbone import build_static_backbone
+from repro.broadcast.sd_cds import broadcast_sd
+from repro.broadcast.si_cds import broadcast_si
+from repro.cluster.cluster_graph import build_cluster_graph
+from repro.coverage.policy import compute_all_coverage_sets
+from repro.protocols.runner import (
+    run_distributed_build,
+    run_distributed_sd_broadcast,
+)
+from repro.sim.messages import ChHop1, ChHop2
+from repro.types import CoveragePolicy
+
+
+class TestClusterFormation:
+    """Figure 3 (b): clusters after the lowest-ID algorithm."""
+
+    def test_clusters(self, fig3_clustering):
+        assert sorted(fig3_clustering.clusterheads) == [1, 2, 3, 4]
+        assert fig3_clustering.head_of == {
+            1: 1, 2: 2, 3: 3, 4: 4,
+            5: 1, 6: 1, 7: 1, 8: 2, 9: 3, 10: 3,
+        }
+
+
+class TestChHopMessages:
+    """The CH_HOP1/CH_HOP2 message contents listed in Section 3."""
+
+    EXPECTED_HOP1 = {
+        5: {1}, 6: {1, 2}, 7: {1, 3}, 8: {2, 3}, 9: {3, 4}, 10: {3, 4},
+    }
+
+    def test_hop1_contents(self, fig3_graph):
+        build = run_distributed_build(fig3_graph)
+        hop1 = {
+            e.sender: set(e.message.heads)
+            for e in build.network.trace.entries
+            if isinstance(e.message, ChHop1)
+        }
+        assert hop1 == self.EXPECTED_HOP1
+
+    def test_hop2_contents(self, fig3_graph):
+        # CH_HOP2(9) = {1[5]}, CH_HOP2(5) = {3[9]}; all others empty.
+        build = run_distributed_build(fig3_graph)
+        hop2 = {
+            e.sender: {ch: set(ws) for ch, ws in e.message.entries.items()}
+            for e in build.network.trace.entries
+            if isinstance(e.message, ChHop2)
+        }
+        assert hop2[9] == {1: {5}}
+        assert hop2[5] == {3: {9}}
+        for v in (6, 7, 8, 10):
+            assert hop2[v] == {}
+
+
+class TestCoverageSets:
+    """C(1)..C(4) as computed in Section 3 (with the C(3) typo corrected)."""
+
+    def test_all_heads(self, fig3_clustering):
+        covs = compute_all_coverage_sets(fig3_clustering)
+        assert covs[1].all_targets == frozenset({2, 3})
+        assert covs[2].all_targets == frozenset({1, 3})
+        assert covs[3].all_targets == frozenset({1, 2, 4})
+        assert covs[4].c2 == frozenset({3})
+        assert covs[4].c3 == frozenset({1})
+
+
+class TestGatewaySelection:
+    """GATEWAY(1)={6,7}, GATEWAY(2)={6,8}, GATEWAY(3)={7,8,9},
+    GATEWAY(4)={5,9}."""
+
+    def test_selections(self, fig3_clustering):
+        bb = build_static_backbone(fig3_clustering)
+        assert bb.selections[1].gateways == frozenset({6, 7})
+        assert bb.selections[2].gateways == frozenset({6, 8})
+        assert bb.selections[3].gateways == frozenset({7, 8, 9})
+        assert bb.selections[4].gateways == frozenset({5, 9})
+
+    def test_backbone_is_figure3c(self, fig3_clustering):
+        # Figure 3 (c): heads 1-4, gateways 5-9; node 10 stays white.
+        bb = build_static_backbone(fig3_clustering)
+        assert bb.nodes == frozenset(range(1, 10))
+
+
+class TestClusterGraphs:
+    """Figure 4: the two cluster graphs of the example network."""
+
+    def test_figure4a_and_4b(self, fig3_clustering):
+        g25 = build_cluster_graph(fig3_clustering, CoveragePolicy.TWO_FIVE_HOP)
+        g3 = build_cluster_graph(fig3_clustering, CoveragePolicy.THREE_HOP)
+        assert g25 == {1: {2, 3}, 2: {1, 3}, 3: {1, 2, 4}, 4: {1, 3}}
+        assert g3 == {1: {2, 3, 4}, 2: {1, 3}, 3: {1, 2, 4}, 4: {1, 3}}
+
+
+class TestBroadcastIllustration:
+    """Section 3's broadcast comparison from source 1: 9 vs 7 forwards."""
+
+    def test_static_nine_forwards(self, fig3_graph, fig3_clustering):
+        r = broadcast_si(fig3_graph, build_static_backbone(fig3_clustering), 1)
+        assert r.num_forward_nodes == 9
+        assert r.forward_nodes == frozenset({1, 2, 3, 4, 5, 6, 7, 8, 9})
+
+    def test_dynamic_seven_forwards(self, fig3_clustering):
+        dyn = broadcast_sd(fig3_clustering, source=1)
+        assert dyn.result.num_forward_nodes == 7
+        assert dyn.result.forward_nodes == frozenset({1, 2, 3, 4, 6, 7, 9})
+
+    def test_edge_elimination_matches_paper(self, fig3_clustering):
+        # "the edges (2,3) and (4,1) in the cluster graph can be eliminated,
+        # which suggests that nodes 8 and 5 do not need to forward" while
+        # "node 9 still needs to forward the packet to clusterhead 4".
+        dyn = broadcast_sd(fig3_clustering, source=1)
+        assert 8 not in dyn.result.forward_nodes
+        assert 5 not in dyn.result.forward_nodes
+        assert 9 in dyn.result.forward_nodes
+
+    def test_distributed_replay_identical(self, fig3_graph):
+        build = run_distributed_build(fig3_graph)
+        result, _stats = run_distributed_sd_broadcast(build, 1)
+        assert result.forward_nodes == frozenset({1, 2, 3, 4, 6, 7, 9})

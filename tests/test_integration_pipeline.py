@@ -1,0 +1,77 @@
+"""End-to-end pipeline tests over the paper's simulation environment."""
+
+import numpy as np
+import pytest
+
+from repro.backbone.mo_cds import build_mo_cds
+from repro.backbone.static_backbone import build_static_backbone
+from repro.backbone.verify import verify_backbone
+from repro.broadcast.delivery import check_full_delivery
+from repro.broadcast.flooding import blind_flooding
+from repro.broadcast.sd_cds import broadcast_sd
+from repro.broadcast.si_cds import broadcast_si
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.cluster.validate import validate_cluster_structure
+from repro.graph.generators import random_geometric_network
+from repro.types import CoveragePolicy, PruningLevel
+
+
+@pytest.mark.parametrize("n,d", [(20, 6.0), (60, 6.0), (40, 18.0), (100, 18.0)])
+def test_full_pipeline_paper_environment(n, d):
+    """Generate -> cluster -> both backbones -> all broadcasts -> verify."""
+    rng = np.random.default_rng(n * 1000 + int(d))
+    net = random_geometric_network(n, d, rng=rng)
+    clustering = lowest_id_clustering(net.graph)
+    validate_cluster_structure(clustering, lowest_id=True)
+
+    static25 = build_static_backbone(clustering, CoveragePolicy.TWO_FIVE_HOP)
+    static3 = build_static_backbone(clustering, CoveragePolicy.THREE_HOP)
+    mo = build_mo_cds(clustering)
+    for bb in (static25, static3, mo):
+        verify_backbone(bb)
+        assert len(clustering.clusterheads) <= bb.size <= n
+
+    source = int(rng.choice(net.graph.nodes()))
+    flood = blind_flooding(net.graph, source)
+    si = broadcast_si(net.graph, static25, source)
+    dyn = broadcast_sd(clustering, source, pruning=PruningLevel.FULL)
+    for result in (flood, si, dyn.result):
+        check_full_delivery(net.graph, result)
+
+    # The paper's headline ordering on a typical sample.
+    assert dyn.result.num_forward_nodes <= si.num_forward_nodes + 2
+    assert si.num_forward_nodes <= flood.num_forward_nodes
+
+
+def test_forward_counts_scale_with_n():
+    sizes = []
+    for n in (20, 60, 100):
+        net = random_geometric_network(n, 6.0, rng=n)
+        clustering = lowest_id_clustering(net.graph)
+        dyn = broadcast_sd(clustering, source=0)
+        sizes.append(dyn.result.num_forward_nodes)
+    assert sizes[0] < sizes[1] < sizes[2]
+
+
+def test_dense_network_fewer_relative_forwards():
+    # Backbones pay off more in dense networks (broadcast storm motivation).
+    def fraction(d):
+        vals = []
+        for seed in range(5):
+            net = random_geometric_network(60, d, rng=seed)
+            clustering = lowest_id_clustering(net.graph)
+            dyn = broadcast_sd(clustering, source=0)
+            vals.append(dyn.result.num_forward_nodes / 60.0)
+        return float(np.mean(vals))
+
+    assert fraction(18.0) < fraction(6.0)
+
+
+def test_shuffled_ids_preserve_all_guarantees():
+    net = random_geometric_network(50, 10.0, rng=5, shuffle_ids=True)
+    clustering = lowest_id_clustering(net.graph)
+    validate_cluster_structure(clustering, lowest_id=True)
+    bb = build_static_backbone(clustering)
+    verify_backbone(bb)
+    dyn = broadcast_sd(clustering, source=net.graph.nodes()[0])
+    check_full_delivery(net.graph, dyn.result)

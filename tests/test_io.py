@@ -1,0 +1,121 @@
+"""Tests for network JSON and results serialisation."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import random_geometric_network
+from repro.io.network_json import load_network, save_network
+from repro.io.results import tables_to_csv, tables_to_json
+from repro.metrics.confidence import ConfidenceInterval
+from repro.metrics.series import ExperimentSeries, SeriesTable
+
+
+class TestNetworkJson:
+    def test_roundtrip(self, tmp_path):
+        net = random_geometric_network(20, 6.0, rng=0)
+        path = tmp_path / "net.json"
+        save_network(net, path)
+        loaded = load_network(path)
+        assert loaded.graph == net.graph
+        assert loaded.radius == net.radius
+        assert loaded.area == net.area
+        for v, (x, y) in net.positions.items():
+            assert loaded.positions[v] == pytest.approx((x, y))
+
+    def test_invalid_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_network(p)
+
+    def test_wrong_format(self, tmp_path):
+        p = tmp_path / "other.json"
+        p.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ConfigurationError, match="not a repro network"):
+            load_network(p)
+
+    def test_wrong_version(self, tmp_path):
+        p = tmp_path / "v99.json"
+        p.write_text(json.dumps({"format": "repro-network", "version": 99}))
+        with pytest.raises(ConfigurationError, match="unsupported version"):
+            load_network(p)
+
+    def test_malformed_nodes(self, tmp_path):
+        p = tmp_path / "malformed.json"
+        p.write_text(json.dumps({
+            "format": "repro-network", "version": 1, "radius": 1.0,
+            "area": {"width": 10, "height": 10},
+            "nodes": [{"id": 0}],
+        }))
+        with pytest.raises(ConfigurationError, match="malformed"):
+            load_network(p)
+
+
+def sample_table():
+    t = SeriesTable(title="T", x_label="n")
+    s = ExperimentSeries(label="alg")
+    s.add(20, ConfidenceInterval(mean=5.0, half_width=0.2,
+                                 confidence=0.99, samples=30))
+    s.add(40, ConfidenceInterval(mean=9.0, half_width=0.3,
+                                 confidence=0.99, samples=31))
+    t.add_series(s)
+    return t
+
+
+class TestResults:
+    def test_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        rows = tables_to_csv([sample_table()], path)
+        assert rows == 2
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("table,series,n,mean")
+        assert len(lines) == 3
+        assert "alg" in lines[1]
+
+    def test_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        count = tables_to_json([sample_table()], path)
+        assert count == 2
+        records = json.loads(path.read_text())
+        assert records[0]["mean"] == 5.0
+        assert records[1]["samples"] == 31
+
+
+class TestMarkdown:
+    def test_markdown_output(self, tmp_path):
+        from repro.io.results import tables_to_markdown
+
+        path = tmp_path / "out.md"
+        count = tables_to_markdown([sample_table()], path)
+        assert count == 1
+        text = path.read_text()
+        assert text.startswith("### T")
+        assert "| n | alg |" in text
+        assert "| 20 | 5.00 |" in text
+        assert "| 40 | 9.00 |" in text
+
+
+class TestTraceJson:
+    def test_roundtrippable_document(self, tmp_path):
+        import json
+
+        from repro.graph.generators import paper_figure3_graph
+        from repro.io.trace_json import trace_to_json
+        from repro.protocols.runner import run_distributed_build
+
+        build = run_distributed_build(paper_figure3_graph())
+        path = tmp_path / "trace.json"
+        count = trace_to_json(build.network.trace, path)
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro-trace"
+        assert doc["total_messages"] == count == len(doc["transmissions"])
+        assert doc["total_volume"] == build.network.trace.total_volume
+        types = {t["type"] for t in doc["transmissions"]}
+        assert {"Hello", "ClusterHead", "NonClusterHead", "ChHop1",
+                "ChHop2", "Gateway"} <= types
+        # CH_HOP payloads survive serialisation.
+        hop1_9 = next(t for t in doc["transmissions"]
+                      if t["type"] == "ChHop1" and t["sender"] == 9)
+        assert sorted(hop1_9["payload"]["heads"]) == [3, 4]

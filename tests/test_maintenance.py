@@ -1,0 +1,121 @@
+"""Tests for churn metrics and mobility sessions."""
+
+import pytest
+
+from repro.backbone.static_backbone import build_static_backbone
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.cluster.state import ClusterStructure
+from repro.errors import ConfigurationError
+from repro.geometry.mobility import RandomWalk, RandomWaypoint
+from repro.graph.adjacency import Graph
+from repro.graph.generators import random_geometric_network
+from repro.maintenance.session import MobilitySession
+from repro.maintenance.stability import backbone_churn, cluster_churn
+
+
+def clustering_of(edges, extra_nodes=()):
+    g = Graph(edges=edges)
+    for v in extra_nodes:
+        g.add_node(v)
+    return lowest_id_clustering(g)
+
+
+class TestClusterChurn:
+    def test_identical_snapshots_zero_churn(self, fig3_clustering):
+        churn = cluster_churn(fig3_clustering, fig3_clustering)
+        assert churn.role_change_count == 0
+        assert churn.reassigned_members == frozenset()
+        assert churn.churn_rate == 0.0
+
+    def test_head_flip_detected(self):
+        before = clustering_of([(1, 2), (2, 3)])  # heads {1, 3}
+        after_structure = clustering_of([(1, 2), (1, 3)])  # head {1} only
+        churn = cluster_churn(before, after_structure)
+        assert 3 in churn.heads_lost
+        assert churn.role_change_count >= 1
+
+    def test_member_reassignment(self):
+        # 5 moves from cluster 1 to cluster 2 while staying a member.
+        g_before = Graph(edges=[(1, 5), (2, 6), (1, 3), (2, 4)])
+        g_after = Graph(edges=[(2, 5), (2, 6), (1, 3), (2, 4)])
+        g_after.add_node(1)
+        before = lowest_id_clustering(g_before)
+        after = lowest_id_clustering(g_after)
+        churn = cluster_churn(before, after)
+        assert 5 in churn.reassigned_members
+
+    def test_mismatched_node_sets_rejected(self, fig3_clustering):
+        other = clustering_of([(0, 1)])
+        with pytest.raises(ConfigurationError):
+            cluster_churn(fig3_clustering, other)
+
+
+class TestBackboneChurn:
+    def test_no_change(self, fig3_clustering):
+        bb = build_static_backbone(fig3_clustering)
+        churn = backbone_churn(bb, bb)
+        assert churn.gateway_turnover == 0
+        assert churn.heads_with_new_selection == frozenset()
+        assert churn.resignalling_rate == 0.0
+
+    def test_gateway_turnover_detected(self):
+        net = random_geometric_network(25, 8.0, rng=5)
+        cs = lowest_id_clustering(net.graph)
+        bb = build_static_backbone(cs)
+        moved = net.moved(
+            RandomWalk(speed=6.0, area=net.area, rng=1).step(
+                net.position_array(), 1.0
+            )
+        )
+        cs2 = lowest_id_clustering(moved.graph)
+        bb2 = build_static_backbone(cs2)
+        churn = backbone_churn(bb, bb2)
+        # Movement of this magnitude virtually always changes something.
+        assert (
+            churn.gateway_turnover > 0
+            or churn.heads_with_new_selection
+            or cs.clusterheads != cs2.clusterheads
+        )
+
+
+class TestMobilitySession:
+    def test_session_steps_and_history(self):
+        net = random_geometric_network(30, 10.0, rng=11)
+        session = MobilitySession(
+            net, RandomWaypoint(speed_range=(0.5, 1.5), area=net.area, rng=2)
+        )
+        reports = session.run(5)
+        assert len(reports) == 5
+        assert session.history == reports
+        assert reports[-1].time == pytest.approx(5.0)
+
+    def test_reports_carry_churn(self):
+        net = random_geometric_network(30, 10.0, rng=12)
+        session = MobilitySession(
+            net, RandomWalk(speed=3.0, area=net.area, rng=3)
+        )
+        report = session.step()
+        assert report.cluster_churn is not None
+        assert report.backbone_churn is not None
+        assert report.link_changes >= 0
+
+    def test_stationary_model_no_churn(self):
+        net = random_geometric_network(25, 8.0, rng=13)
+        session = MobilitySession(
+            net, RandomWalk(speed=0.0, area=net.area, rng=4)
+        )
+        report = session.step()
+        assert report.link_changes == 0
+        assert report.cluster_churn.churn_rate == 0.0
+        assert report.backbone_churn.gateway_turnover == 0
+        assert report.connected
+
+    def test_faster_movement_more_churn(self):
+        def total_churn(speed, seed=21):
+            net = random_geometric_network(40, 10.0, rng=seed)
+            session = MobilitySession(
+                net, RandomWalk(speed=speed, area=net.area, rng=seed)
+            )
+            return sum(r.link_changes for r in session.run(8))
+
+        assert total_churn(0.5) < total_churn(8.0)

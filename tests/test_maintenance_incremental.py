@@ -1,0 +1,108 @@
+"""Tests for incremental lowest-ID clustering maintenance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.errors import NodeNotFoundError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import chain_graph, random_geometric_network
+from repro.maintenance.incremental import IncrementalLowestIdClustering
+
+from strategies import connected_graphs
+
+
+class TestBasics:
+    def test_initial_state_matches_full(self, fig3_graph):
+        inc = IncrementalLowestIdClustering(fig3_graph)
+        assert inc.structure().head_of == \
+            lowest_id_clustering(fig3_graph).head_of
+
+    def test_owns_a_copy(self, fig3_graph):
+        inc = IncrementalLowestIdClustering(fig3_graph)
+        inc.add_edge(5, 10)
+        assert not fig3_graph.has_edge(5, 10)
+
+    def test_add_edge_between_heads_demotes_one(self):
+        g = Graph(edges=[(1, 3), (2, 4)])  # heads 1 and 2
+        inc = IncrementalLowestIdClustering(g)
+        assert inc.is_clusterhead(1) and inc.is_clusterhead(2)
+        summary = inc.add_edge(1, 2)
+        assert inc.is_clusterhead(1)
+        assert not inc.is_clusterhead(2)
+        assert 2 in summary.flipped
+        assert inc.structure().head_of[2] == 1
+
+    def test_remove_edge_promotes_member(self):
+        g = Graph(edges=[(1, 2)])
+        inc = IncrementalLowestIdClustering(g)
+        summary = inc.remove_edge(1, 2)
+        assert inc.is_clusterhead(2)
+        assert 2 in summary.flipped
+
+    def test_reassignment_without_flip(self):
+        # 5 belongs to head 1; removing (1,5) while (2,5) exists reassigns.
+        g = Graph(edges=[(1, 5), (2, 5), (1, 7), (2, 8)])
+        inc = IncrementalLowestIdClustering(g)
+        assert inc.structure().head_of[5] == 1
+        summary = inc.remove_edge(1, 5)
+        assert inc.structure().head_of[5] == 2
+        assert 5 in summary.reassigned
+        assert 5 not in summary.flipped
+
+    def test_unknown_endpoint(self):
+        inc = IncrementalLowestIdClustering(chain_graph(3))
+        with pytest.raises(NodeNotFoundError):
+            inc.add_edge(0, 99)
+
+    def test_remove_missing_edge(self):
+        inc = IncrementalLowestIdClustering(chain_graph(3))
+        with pytest.raises(KeyError):
+            inc.remove_edge(0, 2)
+
+    def test_cascade_along_chain(self):
+        # Removing (0,1) on a chain flips 1 to head, which flips 2 to
+        # member... the repair ripples down the ids.
+        inc = IncrementalLowestIdClustering(chain_graph(6))
+        assert [inc.is_clusterhead(v) for v in range(6)] == \
+            [True, False, True, False, True, False]
+        summary = inc.remove_edge(0, 1)
+        assert [inc.is_clusterhead(v) for v in range(6)] == \
+            [True, True, False, True, False, True]
+        assert len(summary.flipped) == 5
+
+
+class TestEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(graph=connected_graphs(max_nodes=15),
+           seed=st.integers(0, 10_000))
+    def test_random_event_stream_matches_full_recompute(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        inc = IncrementalLowestIdClustering(graph)
+        nodes = graph.nodes()
+        for _ in range(15):
+            u, v = (int(x) for x in rng.choice(nodes, 2, replace=False))
+            if inc.graph.has_edge(u, v):
+                inc.remove_edge(u, v)
+            else:
+                inc.add_edge(u, v)
+            assert inc.structure().head_of == \
+                lowest_id_clustering(inc.graph).head_of
+
+    def test_repairs_are_local_on_geometric_networks(self):
+        net = random_geometric_network(80, 8.0, rng=9)
+        inc = IncrementalLowestIdClustering(net.graph)
+        rng = np.random.default_rng(10)
+        nodes = net.graph.nodes()
+        touched = []
+        for _ in range(100):
+            u, v = (int(x) for x in rng.choice(nodes, 2, replace=False))
+            if inc.graph.has_edge(u, v):
+                s = inc.remove_edge(u, v)
+            else:
+                s = inc.add_edge(u, v)
+            touched.append(s.touched)
+        # Repairs touch a small neighbourhood, not the whole network.
+        assert np.mean(touched) < 0.2 * len(nodes)

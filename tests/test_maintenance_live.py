@@ -1,0 +1,74 @@
+"""Tests for the live maintenance session (incremental message accounting)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mobility import RandomWalk
+from repro.graph.generators import random_geometric_network
+from repro.maintenance.live import LiveMaintenanceSession
+
+
+def make_session(speed: float, seed: int = 21, n: int = 40):
+    net = random_geometric_network(n, 10.0, rng=seed)
+    return LiveMaintenanceSession(
+        net, RandomWalk(speed=speed, area=net.area, rng=seed)
+    )
+
+
+class TestLiveSession:
+    def test_stationary_zero_cost(self):
+        session = make_session(speed=0.0)
+        report = session.step()
+        assert report.total == 0
+        assert report.link_changes == 0
+        assert report.saving == 1.0  # the whole rebuild cost is avoided
+        assert report.rebuild_messages > 0
+
+    def test_movement_costs_messages(self):
+        session = make_session(speed=4.0)
+        report = session.step()
+        assert report.link_changes > 0
+        assert report.total > 0
+        assert report.messages["hello"] > 0
+
+    def test_incremental_cheaper_than_rebuild_at_low_speed(self):
+        session = make_session(speed=0.5)
+        totals, rebuilds = 0, 0
+        for report in session.run(10):
+            totals += report.total
+            rebuilds += report.rebuild_messages
+        assert totals < rebuilds
+        assert totals > 0  # slow movement still costs something
+
+    def test_cost_grows_with_speed(self):
+        def total_cost(speed):
+            session = make_session(speed=speed, seed=33)
+            return sum(r.total for r in session.run(8))
+
+        assert total_cost(0.5) < total_cost(6.0)
+
+    def test_report_fields_consistent(self):
+        session = make_session(speed=2.0)
+        report = session.step()
+        assert report.total == sum(report.messages.values())
+        assert 0.0 <= report.saving <= 1.0
+        assert set(report.messages) == {
+            "hello", "declaration", "ch_hop1", "ch_hop2", "gateway",
+        }
+
+    def test_run_returns_per_epoch_reports(self):
+        session = make_session(speed=1.0)
+        reports = session.run(5, dt=2.0)
+        assert [r.time for r in reports] == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_rebuild_cost_matches_distributed_build_magnitude(self):
+        # The analytic rebuild cost should approximate what the simulator
+        # actually sends for a full construction of the same snapshot.
+        from repro.protocols.runner import run_distributed_build
+
+        session = make_session(speed=0.0, seed=8)
+        report = session.step()
+        build = run_distributed_build(session.network.graph)
+        assert report.rebuild_messages == pytest.approx(
+            build.total_messages, rel=0.05
+        )

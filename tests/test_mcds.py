@@ -1,0 +1,108 @@
+"""Tests for exact MCDS, greedy CDS and the approximation-ratio study."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ConfigurationError, DisconnectedGraphError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import chain_graph, grid_graph, star_graph
+from repro.graph.properties import is_connected_dominating_set
+from repro.mcds.exact import exact_mcds, mcds_size_lower_bound
+from repro.mcds.greedy import greedy_cds
+from repro.mcds.ratio import approximation_ratio_study
+
+from strategies import connected_graphs
+
+
+class TestExactMcds:
+    def test_star_hub(self):
+        assert exact_mcds(star_graph(7)) == frozenset({0})
+
+    def test_chain_interior(self):
+        assert exact_mcds(chain_graph(5)) == frozenset({1, 2, 3})
+
+    def test_single_and_pair(self):
+        assert exact_mcds(Graph(nodes=[4])) == frozenset({4})
+        assert exact_mcds(Graph(edges=[(2, 9)])) == frozenset({2})
+
+    def test_triangle(self):
+        assert len(exact_mcds(Graph(edges=[(0, 1), (1, 2), (0, 2)]))) == 1
+
+    def test_grid_3x3_centre(self):
+        # The centre plus two opposite mid-edges is optimal (size 3).
+        mcds = exact_mcds(grid_graph(3, 3))
+        assert len(mcds) == 3
+        assert is_connected_dominating_set(grid_graph(3, 3), mcds)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(DisconnectedGraphError):
+            exact_mcds(Graph(edges=[(0, 1), (3, 4)]))
+
+    def test_size_limit(self):
+        with pytest.raises(ConfigurationError):
+            exact_mcds(chain_graph(30), max_nodes=24)
+
+    def test_empty_graph(self):
+        assert exact_mcds(Graph()) == frozenset()
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=connected_graphs(min_nodes=3, max_nodes=12))
+    def test_result_is_minimum(self, graph):
+        mcds = exact_mcds(graph)
+        assert is_connected_dominating_set(graph, mcds)
+        # No strictly smaller CDS exists.
+        from itertools import combinations
+
+        candidates = graph.nodes()
+        for smaller in combinations(candidates, len(mcds) - 1):
+            assert not is_connected_dominating_set(graph, smaller)
+
+
+class TestLowerBound:
+    def test_star(self):
+        # ceil(8 / 8) = 1.
+        assert mcds_size_lower_bound(star_graph(7)) == 1
+
+    def test_chain(self):
+        assert mcds_size_lower_bound(chain_graph(9)) == 3
+
+    def test_bound_never_exceeds_optimum(self):
+        for g in (chain_graph(7), grid_graph(3, 3), star_graph(5)):
+            assert mcds_size_lower_bound(g) <= len(exact_mcds(g))
+
+
+class TestGreedyCds:
+    def test_star(self):
+        assert greedy_cds(star_graph(9)) == frozenset({0})
+
+    def test_single_node(self):
+        assert greedy_cds(Graph(nodes=[3])) == frozenset({3})
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(DisconnectedGraphError):
+            greedy_cds(Graph(nodes=[0, 1]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=connected_graphs())
+    def test_always_a_cds(self, graph):
+        cds = greedy_cds(graph)
+        assert is_connected_dominating_set(graph, cds)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=connected_graphs(min_nodes=3, max_nodes=12))
+    def test_at_least_exact_size(self, graph):
+        assert len(greedy_cds(graph)) >= len(exact_mcds(graph))
+
+
+class TestRatioStudy:
+    def test_small_study_runs(self):
+        samples = approximation_ratio_study(samples=4, n=10,
+                                            average_degree=4.0, rng=0)
+        assert len(samples) == 4
+        for s in samples:
+            assert s.mcds_size >= 1
+            assert s.static_ratio >= 1.0
+            assert s.mo_ratio >= 1.0
+            # The dynamic forward count includes all clusterheads, so it can
+            # sit below the static size but never below 1x a single head.
+            assert s.dynamic_ratio > 0.0

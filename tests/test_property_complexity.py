@@ -1,0 +1,83 @@
+"""Empirical checks of the paper's complexity claims (Section 4).
+
+* Communication: the distributed construction sends O(n) messages — here,
+  at most a small constant times n, with a near-perfect linear fit over a
+  size sweep.
+* Time: cluster formation on a monotone-id chain takes Θ(n) rounds; on
+  typical geometric networks the whole construction finishes in far fewer
+  rounds than n.
+"""
+
+import pytest
+
+from repro.graph.generators import chain_graph, random_geometric_network
+from repro.metrics.stats import linear_fit
+from repro.protocols.runner import run_distributed_build
+from repro.types import CoveragePolicy
+
+#: Messages per node: hello(1) + declaration(1) + CH_HOP1/2(<=2) +
+#: GATEWAY(head + forwards, amortised < 2).
+MESSAGES_PER_NODE_BOUND = 6
+
+
+class TestMessageComplexity:
+    @pytest.mark.parametrize("n", [15, 30, 60])
+    @pytest.mark.parametrize("policy", list(CoveragePolicy))
+    def test_linear_bound_per_sample(self, n, policy):
+        net = random_geometric_network(n, 8.0, rng=n)
+        build = run_distributed_build(net.graph, policy)
+        assert build.total_messages <= MESSAGES_PER_NODE_BOUND * n
+
+    def test_linear_fit_over_sweep(self):
+        ns = [10, 20, 40, 60, 80]
+        msgs = []
+        for n in ns:
+            net = random_geometric_network(n, 8.0, rng=7 * n)
+            msgs.append(run_distributed_build(net.graph).total_messages)
+        slope, intercept, r2 = linear_fit(ns, msgs)
+        assert r2 > 0.98, f"message count not linear in n (R^2={r2:.3f})"
+        assert 2.0 < slope < MESSAGES_PER_NODE_BOUND
+
+    def test_dynamic_construction_cheaper_than_static(self):
+        # Without the GATEWAY phase (dynamic backbone) fewer messages.
+        net = random_geometric_network(50, 8.0, rng=3)
+        full = run_distributed_build(net.graph)
+        no_gw = run_distributed_build(net.graph, include_gateway_phase=False)
+        assert no_gw.total_messages < full.total_messages
+
+
+class TestTimeComplexity:
+    def test_chain_worst_case_linear_rounds(self):
+        # Monotone ids: declarations ripple one hop per unit time.
+        for n in (10, 20, 40):
+            build = run_distributed_build(chain_graph(n))
+            clustering_phase = build.phases[1]
+            assert clustering_phase.duration >= n / 2 - 1
+            assert clustering_phase.duration <= n + 2
+
+    def test_geometric_networks_much_faster_than_chain(self):
+        n = 60
+        net = random_geometric_network(n, 10.0, rng=1)
+        build = run_distributed_build(net.graph)
+        clustering_phase = build.phases[1]
+        assert clustering_phase.duration < n / 2
+
+    def test_coverage_phase_constant_rounds(self):
+        # CH_HOP1 then CH_HOP2: two message rounds regardless of n.
+        for n in (20, 60):
+            net = random_geometric_network(n, 8.0, rng=n + 1)
+            build = run_distributed_build(net.graph)
+            assert build.phases[2].duration <= 3.0
+
+
+class TestVolumeAblation:
+    def test_three_hop_volume_at_least_two_five(self):
+        # The 2.5-hop coverage set's cheaper maintenance, in message volume.
+        net = random_geometric_network(60, 10.0, rng=9)
+        v25 = run_distributed_build(
+            net.graph, CoveragePolicy.TWO_FIVE_HOP
+        ).total_volume
+        v3 = run_distributed_build(
+            net.graph, CoveragePolicy.THREE_HOP
+        ).total_volume
+        assert v3 >= v25

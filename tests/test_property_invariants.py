@@ -1,0 +1,115 @@
+"""Cross-module invariants, property-tested end to end.
+
+These tie the whole pipeline together on arbitrary inputs: for any connected
+topology and any source, the full chain (cluster → coverage → backbone →
+broadcast) must uphold every structural guarantee at once, and serialisation
+round-trips must be lossless.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backbone.mo_cds import build_mo_cds
+from repro.backbone.static_backbone import build_static_backbone
+from repro.broadcast.sd_cds import broadcast_sd
+from repro.broadcast.si_cds import broadcast_si
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.coverage.policy import compute_all_coverage_sets
+from repro.graph.connectivity import is_connected
+from repro.graph.network import Network
+from repro.graph.properties import (
+    is_connected_dominating_set,
+    is_independent_set,
+)
+from repro.io.network_json import load_network, save_network
+from repro.types import CoveragePolicy, PruningLevel
+
+from strategies import connected_graphs, geometric_networks
+
+
+class TestPipelineInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(graph=connected_graphs(), data=st.data())
+    def test_everything_at_once(self, graph, data):
+        """One random pipeline run upholding every guarantee simultaneously."""
+        source = data.draw(st.sampled_from(graph.nodes()))
+        policy = data.draw(st.sampled_from(list(CoveragePolicy)))
+        pruning = data.draw(st.sampled_from(list(PruningLevel)))
+
+        clustering = lowest_id_clustering(graph)
+        heads = clustering.clusterheads
+        assert is_independent_set(graph, heads)
+
+        coverage = compute_all_coverage_sets(clustering, policy)
+        # Coverage targets are always other heads, never members.
+        for cov in coverage.values():
+            assert cov.all_targets <= heads
+
+        static = build_static_backbone(clustering, policy, coverage)
+        assert is_connected_dominating_set(graph, static.nodes)
+        si = broadcast_si(graph, static, source)
+        assert si.delivered_to_all(graph)
+
+        dyn = broadcast_sd(clustering, source, policy=policy,
+                           pruning=pruning, coverage_sets=coverage)
+        assert dyn.result.delivered_to_all(graph)
+        assert is_connected_dominating_set(graph, dyn.backbone_nodes)
+        # Dynamic gateways come from the same witness pool as static ones:
+        # every designated forward node is some head's coverage witness.
+        witness_pool = set()
+        for cov in coverage.values():
+            for vs in cov.direct_witnesses.values():
+                witness_pool |= vs
+            for pairs in cov.indirect_witnesses.values():
+                for v, w in pairs:
+                    witness_pool |= {v, w}
+        for fset in dyn.forward_sets.values():
+            assert fset <= witness_pool
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=connected_graphs())
+    def test_coverage_sets_mutually_consistent(self, graph):
+        """If u covers w at 2 hops, w covers u at 2 hops (symmetric C2)."""
+        clustering = lowest_id_clustering(graph)
+        covs = compute_all_coverage_sets(clustering,
+                                         CoveragePolicy.TWO_FIVE_HOP)
+        for u, cov in covs.items():
+            for w in cov.c2:
+                assert u in covs[w].c2
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=connected_graphs())
+    def test_mo_cds_superset_witnesses(self, graph):
+        """MO_CDS selections are drawn from the 3-hop witness structure."""
+        clustering = lowest_id_clustering(graph)
+        mo = build_mo_cds(clustering)
+        for head, selection in mo.selections.items():
+            cov = mo.coverage_sets[head]
+            for target, path in selection.connectors.items():
+                if len(path) == 1:
+                    assert path[0] in cov.direct_witnesses[target]
+                else:
+                    assert tuple(path) in cov.indirect_witnesses[target]
+
+
+class TestSerialisationRoundTrips:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(net=geometric_networks(max_nodes=25))
+    def test_network_json_roundtrip(self, net, tmp_path):
+        path = tmp_path / "roundtrip.json"
+        save_network(net, path)
+        loaded = load_network(path)
+        assert loaded.graph == net.graph
+        assert loaded.radius == net.radius
+        # The clustering (and hence everything downstream) is identical.
+        assert (lowest_id_clustering(loaded.graph).head_of
+                == lowest_id_clustering(net.graph).head_of)
+
+    @settings(max_examples=15, deadline=None)
+    @given(net=geometric_networks(max_nodes=25))
+    def test_moved_identity_is_noop(self, net):
+        same = net.moved(net.position_array())
+        assert same.graph == net.graph

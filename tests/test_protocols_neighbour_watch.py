@@ -1,0 +1,134 @@
+"""Tests for the periodic neighbour-watch protocol on changing topologies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError, SimulationError
+from repro.geometry.mobility import RandomWalk
+from repro.graph.adjacency import Graph
+from repro.graph.generators import random_geometric_network
+from repro.protocols.neighbour_watch import NeighbourWatchProtocol
+from repro.sim.network import SimNetwork
+
+
+def make_watch(graph, **kwargs):
+    net = SimNetwork(graph)
+    return net, NeighbourWatchProtocol(net, **kwargs)
+
+
+class TestStaticTopology:
+    def test_first_round_discovers_all_links(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        net, watch = make_watch(g)
+        events = watch.run_round()
+        ups = {(e.node, e.neighbour) for e in events if e.up}
+        assert ups == {(0, 1), (1, 0), (1, 2), (2, 1)}
+        assert watch.belief_matches_topology()
+
+    def test_stable_rounds_emit_nothing(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        net, watch = make_watch(g)
+        watch.run_round()
+        for _ in range(4):
+            assert watch.run_round() == []
+
+    def test_parameter_validation(self):
+        g = Graph(edges=[(0, 1)])
+        net = SimNetwork(g)
+        with pytest.raises(ProtocolError):
+            NeighbourWatchProtocol(net, timeout_rounds=0)
+        with pytest.raises(ProtocolError):
+            NeighbourWatchProtocol(net, period=0.5)
+
+
+class TestLinkChanges:
+    def test_link_up_detected_next_round(self):
+        g = Graph(nodes=[0, 1, 2], edges=[(0, 1)])
+        net, watch = make_watch(g)
+        watch.run_round()
+        g2 = Graph(nodes=[0, 1, 2], edges=[(0, 1), (1, 2)])
+        net.medium.update_graph(g2)
+        net.graph = g2
+        events = watch.run_round()
+        ups = {(e.node, e.neighbour) for e in events if e.up}
+        assert ups == {(1, 2), (2, 1)}
+
+    def test_link_down_detected_after_timeout(self):
+        g = Graph(nodes=[0, 1], edges=[(0, 1)])
+        net, watch = make_watch(g, timeout_rounds=3)
+        watch.run_round()
+        g2 = Graph(nodes=[0, 1])
+        net.medium.update_graph(g2)
+        net.graph = g2
+        downs = []
+        for i in range(4):
+            downs.extend(e for e in watch.run_round() if not e.up)
+        assert {(e.node, e.neighbour) for e in downs} == {(0, 1), (1, 0)}
+        # Detected exactly timeout_rounds after the last beacon (round 0).
+        assert all(e.round_index == 3 for e in downs)
+        assert watch.belief_matches_topology()
+
+    def test_flap_within_timeout_not_reported_down(self):
+        g_up = Graph(nodes=[0, 1], edges=[(0, 1)])
+        g_down = Graph(nodes=[0, 1])
+        net, watch = make_watch(g_up, timeout_rounds=3)
+        watch.run_round()
+        net.medium.update_graph(g_down)
+        net.graph = g_down
+        watch.run_round()  # one silent round < timeout
+        net.medium.update_graph(g_up)
+        net.graph = g_up
+        events = watch.run_round()
+        assert all(e.up for e in watch.events)  # no down was ever declared
+
+    def test_node_set_change_rejected(self):
+        g = Graph(nodes=[0, 1], edges=[(0, 1)])
+        net, _watch = make_watch(g)
+        with pytest.raises(SimulationError):
+            net.medium.update_graph(Graph(nodes=[0, 1, 2]))
+
+
+class TestUnderMobility:
+    def test_beliefs_converge_after_stabilisation(self):
+        net_snapshot = random_geometric_network(25, 8.0, rng=3)
+        sim_net = SimNetwork(net_snapshot.graph)
+        watch = NeighbourWatchProtocol(sim_net, timeout_rounds=2)
+        walk = RandomWalk(speed=3.0, area=net_snapshot.area, rng=4)
+        current = net_snapshot
+        # Churn for several rounds.
+        for _ in range(5):
+            moved = current.moved(
+                walk.step(current.position_array(), 1.0)
+            )
+            sim_net.medium.update_graph(moved.graph)
+            sim_net.graph = moved.graph
+            watch.run_round()
+            current = moved
+        # Freeze the topology; after timeout_rounds stable rounds the
+        # beliefs must equal the true adjacency.
+        for _ in range(3):
+            watch.run_round()
+        assert watch.belief_matches_topology()
+
+    def test_event_stream_is_consistent(self):
+        # Every down event must have a matching earlier up event.
+        net_snapshot = random_geometric_network(20, 8.0, rng=6)
+        sim_net = SimNetwork(net_snapshot.graph)
+        watch = NeighbourWatchProtocol(sim_net, timeout_rounds=2)
+        walk = RandomWalk(speed=4.0, area=net_snapshot.area, rng=7)
+        current = net_snapshot
+        for _ in range(8):
+            moved = current.moved(walk.step(current.position_array(), 1.0))
+            sim_net.medium.update_graph(moved.graph)
+            sim_net.graph = moved.graph
+            watch.run_round()
+            current = moved
+        seen_up = set()
+        for e in watch.events:
+            key = (e.node, e.neighbour)
+            if e.up:
+                assert key not in seen_up
+                seen_up.add(key)
+            else:
+                assert key in seen_up
+                seen_up.discard(key)

@@ -1,0 +1,100 @@
+"""Tests for the distributed-build runner and distributed broadcasts."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.backbone.static_backbone import build_static_backbone
+from repro.broadcast.sd_cds import broadcast_sd
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.protocols.runner import (
+    run_distributed_build,
+    run_distributed_sd_broadcast,
+    run_distributed_si_broadcast,
+)
+from repro.types import CoveragePolicy, PruningLevel
+
+from strategies import connected_graphs
+
+
+class TestDistributedBuild:
+    def test_phases_in_order(self, fig3_graph):
+        build = run_distributed_build(fig3_graph)
+        assert [p.name for p in build.phases] == [
+            "hello", "clustering", "coverage", "gateway",
+        ]
+
+    def test_skip_gateway_phase(self, fig3_graph):
+        build = run_distributed_build(fig3_graph, include_gateway_phase=False)
+        assert [p.name for p in build.phases] == [
+            "hello", "clustering", "coverage",
+        ]
+        # Selections still computed locally so the Backbone object is whole.
+        assert build.backbone.nodes == frozenset(range(1, 10))
+
+    def test_total_message_count_linear_bound(self, fig3_graph):
+        build = run_distributed_build(fig3_graph)
+        n = fig3_graph.num_nodes
+        # hello(n) + clustering(n) + chhop1+chhop2(<=2n) + gateway(<=2n).
+        assert build.total_messages <= 6 * n
+        assert build.total_messages == sum(p.messages for p in build.phases)
+        assert build.total_volume > 0
+
+    def test_matches_centralised_structures(self, fig3_graph):
+        build = run_distributed_build(fig3_graph)
+        central = build_static_backbone(lowest_id_clustering(fig3_graph))
+        assert build.backbone.nodes == central.nodes
+        assert build.structure.head_of == central.structure.head_of
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=connected_graphs(max_nodes=20))
+    def test_equivalence_three_hop(self, graph):
+        build = run_distributed_build(graph, CoveragePolicy.THREE_HOP)
+        central = build_static_backbone(
+            lowest_id_clustering(graph), CoveragePolicy.THREE_HOP
+        )
+        assert build.backbone.nodes == central.nodes
+
+
+class TestDistributedBroadcasts:
+    def test_si_broadcast_matches_static_flood(self, fig3_graph):
+        build = run_distributed_build(fig3_graph)
+        result, stats = run_distributed_si_broadcast(build, 1)
+        assert result.forward_nodes == frozenset(range(1, 10))
+        assert stats.messages == result.transmissions == 9
+        assert result.delivered_to_all(fig3_graph)
+
+    def test_sd_broadcast_matches_centralised(self, fig3_graph):
+        build = run_distributed_build(fig3_graph)
+        result, stats = run_distributed_sd_broadcast(build, 1)
+        central = broadcast_sd(lowest_id_clustering(fig3_graph), 1)
+        assert result.forward_nodes == central.result.forward_nodes
+        assert stats.messages == result.transmissions
+
+    def test_sd_broadcast_from_member(self, fig3_graph):
+        build = run_distributed_build(fig3_graph)
+        result, _stats = run_distributed_sd_broadcast(build, 10)
+        assert result.delivered_to_all(fig3_graph)
+        assert 10 in result.forward_nodes
+
+    def test_multiple_broadcasts_reuse_network(self, fig3_graph):
+        build = run_distributed_build(fig3_graph)
+        r1, _ = run_distributed_sd_broadcast(build, 1)
+        r2, _ = run_distributed_sd_broadcast(build, 4)
+        assert r1.delivered_to_all(fig3_graph)
+        assert r2.delivered_to_all(fig3_graph)
+        assert r2.source == 4
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=connected_graphs(max_nodes=20))
+    def test_sd_equivalence_random(self, graph):
+        for policy in CoveragePolicy:
+            build = run_distributed_build(graph, policy,
+                                          include_gateway_phase=False)
+            for pruning in (PruningLevel.FULL, PruningLevel.NONE):
+                result, _ = run_distributed_sd_broadcast(build, 0, pruning)
+                central = broadcast_sd(
+                    lowest_id_clustering(graph), 0,
+                    policy=policy, pruning=pruning,
+                )
+                assert result.forward_nodes == central.result.forward_nodes
+                assert result.delivered_to_all(graph)

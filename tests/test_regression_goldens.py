@@ -1,0 +1,84 @@
+"""Golden regression values.
+
+Every algorithm in this library is deterministic given a seed, so exact
+output values can be pinned.  These goldens catch *any* behavioural drift —
+a changed tie-break, a reordered iteration, an altered calibration — that
+the property tests (which only check invariants) would let through.
+
+If a change legitimately alters these numbers (e.g. an intentional
+heuristic improvement), update the goldens in the same commit and say why
+in its message.
+"""
+
+import pytest
+
+from repro.backbone.mo_cds import build_mo_cds
+from repro.backbone.static_backbone import build_static_backbone
+from repro.broadcast.flooding import blind_flooding
+from repro.broadcast.mpr import broadcast_mpr
+from repro.broadcast.sd_cds import broadcast_sd
+from repro.broadcast.si_cds import broadcast_si
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.graph.generators import random_geometric_network
+from repro.types import CoveragePolicy, PruningLevel
+
+
+@pytest.fixture(scope="module")
+def net():
+    """The pinned reference network: n=60, d=10, seed 2003."""
+    return random_geometric_network(60, 10.0, rng=2003)
+
+
+@pytest.fixture(scope="module")
+def clustering(net):
+    return lowest_id_clustering(net.graph)
+
+
+class TestNetworkGoldens:
+    def test_topology(self, net):
+        assert net.num_nodes == 60
+        assert net.graph.num_edges == 209
+        assert net.radius == pytest.approx(23.227, abs=1e-3)
+
+    def test_clustering(self, clustering):
+        assert clustering.sorted_heads() == [0, 1, 2, 3, 7, 8, 10, 15, 17, 24, 32, 55]
+
+
+class TestStructureGoldens:
+    def test_static_backbone_sizes(self, clustering):
+        assert build_static_backbone(
+            clustering, CoveragePolicy.TWO_FIVE_HOP
+        ).size == 24
+        assert build_static_backbone(
+            clustering, CoveragePolicy.THREE_HOP
+        ).size == 27
+
+    def test_mo_cds_size(self, clustering):
+        assert build_mo_cds(clustering).size == 30
+
+
+class TestBroadcastGoldens:
+    def test_flooding(self, net):
+        r = blind_flooding(net.graph, 0)
+        assert r.num_forward_nodes == 60
+        assert r.latency == 7
+
+    def test_static_broadcast(self, net, clustering):
+        bb = build_static_backbone(clustering)
+        r = broadcast_si(net.graph, bb, 0)
+        assert r.num_forward_nodes == 24  # source 0 is itself a head
+
+    def test_dynamic_broadcast_all_prunings(self, clustering):
+        # Per-sample pruning effects are noisy (FULL can even exceed NONE
+        # on one draw, as here); the *averages* in Figure 8 favour FULL.
+        expected = {
+            PruningLevel.NONE: 24,
+            PruningLevel.BASIC: 25,
+            PruningLevel.FULL: 25,
+        }
+        for pruning, count in expected.items():
+            dyn = broadcast_sd(clustering, 0, pruning=pruning)
+            assert dyn.result.num_forward_nodes == count, pruning
+
+    def test_mpr_broadcast(self, net):
+        assert broadcast_mpr(net.graph, 0).num_forward_nodes == 21

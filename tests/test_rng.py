@@ -1,0 +1,62 @@
+"""Tests for repro.rng."""
+
+import numpy as np
+import pytest
+
+from repro.rng import DEFAULT_SEED, derive_seed, ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_is_deterministic(self):
+        a = ensure_rng(7).random()
+        b = ensure_rng(7).random()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(ensure_rng(np.int64(5)), np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")  # type: ignore[arg-type]
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        assert len(spawn(0, 5)) == 5
+
+    def test_spawn_zero(self):
+        assert spawn(0, 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)
+
+    def test_children_are_independent_and_reproducible(self):
+        kids_a = spawn(42, 3)
+        kids_b = spawn(42, 3)
+        for a, b in zip(kids_a, kids_b):
+            assert a.random() == b.random()
+        values = {round(k.random(), 12) for k in spawn(42, 3)}
+        assert len(values) == 3  # distinct streams
+
+
+class TestDeriveSeed:
+    def test_range(self):
+        s = derive_seed(3)
+        assert 0 <= s < 2**63
+
+    def test_deterministic(self):
+        assert derive_seed(3) == derive_seed(3)
+
+    def test_default_seed_is_stable(self):
+        assert DEFAULT_SEED == 20030422

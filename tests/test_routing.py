@@ -1,0 +1,100 @@
+"""Tests for cluster-based backbone routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backbone.static_backbone import build_static_backbone
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.errors import NodeNotFoundError
+from repro.graph.generators import chain_graph, random_geometric_network
+from repro.graph.traversal import bfs_distances
+from repro.routing.cluster_routing import RouteFailure, backbone_route
+from repro.routing.stretch import route_stretch_study
+
+from strategies import connected_graphs
+
+
+def backbone_of(graph):
+    return build_static_backbone(lowest_id_clustering(graph))
+
+
+class TestBackboneRoute:
+    def test_trivial_cases(self, fig3_graph, fig3_clustering):
+        bb = build_static_backbone(fig3_clustering)
+        assert backbone_route(bb, 5, 5) == [5]
+        assert backbone_route(bb, 5, 1) == [5, 1]  # direct link
+
+    def test_cross_cluster_route(self, fig3_graph, fig3_clustering):
+        bb = build_static_backbone(fig3_clustering)
+        route = backbone_route(bb, 6, 10)
+        assert route[0] == 6 and route[-1] == 10
+        for a, b in zip(route, route[1:]):
+            assert fig3_graph.has_edge(a, b)
+
+    def test_interior_nodes_are_backbone(self, fig3_graph, fig3_clustering):
+        bb = build_static_backbone(fig3_clustering)
+        for s in fig3_graph.nodes():
+            for t in fig3_graph.nodes():
+                route = backbone_route(bb, s, t)
+                for v in route[1:-1]:
+                    assert v in bb.nodes, (s, t, route)
+
+    def test_unknown_endpoints(self, fig3_clustering):
+        bb = build_static_backbone(fig3_clustering)
+        with pytest.raises(NodeNotFoundError):
+            backbone_route(bb, 99, 1)
+        with pytest.raises(NodeNotFoundError):
+            backbone_route(bb, 1, 99)
+
+    def test_disconnected_raises(self):
+        from repro.graph.adjacency import Graph
+
+        g = Graph(edges=[(0, 1), (5, 6)])
+        bb = backbone_of(g)
+        with pytest.raises(RouteFailure):
+            backbone_route(bb, 0, 6)
+
+    def test_chain_route_is_optimal(self):
+        g = chain_graph(8)
+        bb = backbone_of(g)
+        route = backbone_route(bb, 0, 7)
+        assert route == list(range(8))  # only one path exists
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=connected_graphs(), data=st.data())
+    def test_route_valid_for_random_pairs(self, graph, data):
+        bb = backbone_of(graph)
+        s = data.draw(st.sampled_from(graph.nodes()))
+        t = data.draw(st.sampled_from(graph.nodes()))
+        route = backbone_route(bb, s, t)
+        assert route[0] == s and route[-1] == t
+        for a, b in zip(route, route[1:]):
+            assert graph.has_edge(a, b)
+        for v in route[1:-1]:
+            assert v in bb.nodes
+        # Bounded stretch: each BFS hop costs at most a bounded detour
+        # through the cluster structure.
+        if s != t:
+            optimal = bfs_distances(graph, s)[t]
+            assert len(route) - 1 <= 4 * optimal + 4
+
+
+class TestStretchStudy:
+    def test_study_output(self):
+        report = route_stretch_study(
+            n=40, average_degree=10.0, networks=3, pairs_per_network=10,
+            rng=7,
+        )
+        assert report.pairs == 30
+        assert report.mean_stretch >= 1.0
+        assert report.max_stretch >= report.mean_stretch
+        assert report.mean_backbone_fraction == 1.0
+
+    def test_stretch_small_in_practice(self):
+        report = route_stretch_study(
+            n=60, average_degree=12.0, networks=4, pairs_per_network=15,
+            rng=8,
+        )
+        assert report.mean_stretch < 1.6
+        assert report.max_stretch < 3.5

@@ -1,0 +1,58 @@
+"""Tests for SimNetwork assembly and lifecycle."""
+
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.generators import paper_figure3_graph
+from repro.sim.medium import CollisionMedium, WirelessMedium
+from repro.sim.messages import Hello
+from repro.sim.network import SimNetwork
+from repro.sim.trace import TraceRecorder
+
+
+class TestAssembly:
+    def test_one_node_per_host(self):
+        g = paper_figure3_graph()
+        net = SimNetwork(g)
+        assert set(net.nodes) == set(g.nodes())
+        assert net.node(5).id == 5
+
+    def test_iteration_is_id_ordered(self):
+        net = SimNetwork(Graph(nodes=[3, 1, 2]))
+        assert [n.id for n in net] == [1, 2, 3]
+
+    def test_default_medium_is_ideal(self):
+        net = SimNetwork(Graph(nodes=[0]))
+        assert type(net.medium) is WirelessMedium
+
+    def test_collision_flag_selects_medium(self):
+        net = SimNetwork(Graph(nodes=[0]), collisions=True)
+        assert isinstance(net.medium, CollisionMedium)
+
+    def test_shared_trace_injection(self):
+        trace = TraceRecorder()
+        g = Graph(edges=[(0, 1)])
+        net = SimNetwork(g, trace=trace)
+        net.sim.schedule(0.0, lambda: net.node(0).send(Hello(origin=0)))
+        net.run_phase()
+        assert trace.total_messages == 1
+        assert net.trace is trace
+
+
+class TestLifecycle:
+    def test_run_phase_returns_event_count(self):
+        g = Graph(edges=[(0, 1), (0, 2)])
+        net = SimNetwork(g)
+        net.sim.schedule(0.0, lambda: net.node(0).send(Hello(origin=0)))
+        # 1 send event + 2 delivery events.
+        assert net.run_phase() == 3
+
+    def test_multiple_phases_accumulate_time(self):
+        g = Graph(edges=[(0, 1)])
+        net = SimNetwork(g)
+        net.sim.schedule(0.0, lambda: net.node(0).send(Hello(origin=0)))
+        net.run_phase()
+        t1 = net.sim.now
+        net.sim.schedule(0.0, lambda: net.node(1).send(Hello(origin=1)))
+        net.run_phase()
+        assert net.sim.now >= t1

@@ -1,0 +1,59 @@
+"""Stateful property test: incremental clustering under arbitrary histories.
+
+Hypothesis drives a :class:`RuleBasedStateMachine` that interleaves edge
+insertions and removals in any order it likes; after *every* step the
+incremental structure must equal a from-scratch recomputation and satisfy
+all clustering invariants.  This exercises orderings (cascades, re-adds,
+island formation) far beyond what the example-based tests cover.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.cluster.validate import validate_cluster_structure
+from repro.maintenance.incremental import IncrementalLowestIdClustering
+from repro.graph.adjacency import Graph
+
+N_NODES = 10
+
+
+class IncrementalClusteringMachine(RuleBasedStateMachine):
+    """Random link churn with full-equivalence checking."""
+
+    @initialize()
+    def setup(self) -> None:
+        self.inc = IncrementalLowestIdClustering(Graph(nodes=range(N_NODES)))
+
+    @rule(u=st.integers(0, N_NODES - 1), v=st.integers(0, N_NODES - 1))
+    def toggle_edge(self, u: int, v: int) -> None:
+        if u == v:
+            return
+        if self.inc.graph.has_edge(u, v):
+            summary = self.inc.remove_edge(u, v)
+        else:
+            summary = self.inc.add_edge(u, v)
+        # Flips are always part of the re-evaluated set's closure.
+        assert summary.flipped <= summary.reevaluated
+
+    @invariant()
+    def matches_full_recompute(self) -> None:
+        incremental = self.inc.structure()
+        full = lowest_id_clustering(self.inc.graph)
+        assert incremental.head_of == full.head_of
+
+    @invariant()
+    def satisfies_lowest_id_invariants(self) -> None:
+        validate_cluster_structure(self.inc.structure(), lowest_id=True)
+
+
+TestIncrementalClusteringStateful = IncrementalClusteringMachine.TestCase
+TestIncrementalClusteringStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

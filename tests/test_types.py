@@ -1,0 +1,40 @@
+"""Tests for repro.types."""
+
+import pytest
+
+from repro.types import CoveragePolicy, NodeRole, PruningLevel, ordered_edge
+
+
+class TestOrderedEdge:
+    def test_orders_ascending(self):
+        assert ordered_edge(5, 2) == (2, 5)
+
+    def test_keeps_ascending(self):
+        assert ordered_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            ordered_edge(3, 3)
+
+    def test_negative_ids_allowed(self):
+        assert ordered_edge(-4, 1) == (-4, 1)
+
+
+class TestEnums:
+    def test_coverage_policy_labels(self):
+        assert CoveragePolicy.TWO_FIVE_HOP.label == "2.5-hop"
+        assert CoveragePolicy.THREE_HOP.label == "3-hop"
+
+    def test_coverage_policy_values_are_distinct(self):
+        assert CoveragePolicy.TWO_FIVE_HOP is not CoveragePolicy.THREE_HOP
+
+    def test_pruning_levels(self):
+        assert {p.value for p in PruningLevel} == {"none", "basic", "full"}
+
+    def test_pruning_from_value(self):
+        assert PruningLevel("full") is PruningLevel.FULL
+
+    def test_node_roles(self):
+        assert NodeRole.CLUSTERHEAD.value == "clusterhead"
+        assert NodeRole.MEMBER.value == "member"
+        assert NodeRole.CANDIDATE.value == "candidate"

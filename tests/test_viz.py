@@ -1,0 +1,53 @@
+"""Tests for the ASCII renderer."""
+
+import pytest
+
+from repro.backbone.static_backbone import build_static_backbone
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.errors import ConfigurationError
+from repro.graph.generators import random_geometric_network
+from repro.viz.ascii_art import render_backbone, render_network
+
+
+@pytest.fixture
+def net():
+    return random_geometric_network(25, 8.0, rng=9)
+
+
+class TestRenderNetwork:
+    def test_dimensions(self, net):
+        text = render_network(net, width=40, height=12)
+        lines = text.splitlines()
+        # Trailing all-blank rows are stripped by the renderer.
+        assert 1 <= len(lines) <= 12
+        assert max(len(line) for line in lines) <= 40
+
+    def test_every_node_drawn(self, net):
+        text = render_network(net, width=120, height=60)
+        # With a large grid, collisions are unlikely; most nodes visible.
+        assert text.count(".") >= net.num_nodes - 3
+
+    def test_too_small_grid_rejected(self, net):
+        with pytest.raises(ConfigurationError):
+            render_network(net, width=4, height=2)
+
+
+class TestRenderBackbone:
+    def test_glyph_counts(self, net):
+        cs = lowest_id_clustering(net.graph)
+        bb = build_static_backbone(cs)
+        text = render_backbone(net, cs, bb.gateways, width=120, height=60)
+        assert text.count("#") <= len(cs.clusterheads)
+        assert text.count("#") >= 1
+        assert text.count("o") <= len(bb.gateways)
+
+    def test_head_glyph_wins_collisions(self, net):
+        cs = lowest_id_clustering(net.graph)
+        tiny = render_backbone(net, cs, width=8, height=4)
+        assert "#" in tiny
+
+    def test_legend(self, net):
+        cs = lowest_id_clustering(net.graph)
+        text = render_backbone(net, cs, label_ids=True)
+        assert text.splitlines()[-1].startswith("[")
+        assert "0#" in text or "0." in text

@@ -1,0 +1,75 @@
+"""Tests for the SVG exporter."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.backbone.static_backbone import build_static_backbone
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.errors import ConfigurationError
+from repro.graph.generators import random_geometric_network
+from repro.viz.svg import backbone_to_svg, network_to_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture(scope="module")
+def net():
+    return random_geometric_network(20, 8.0, rng=3)
+
+
+class TestNetworkSvg:
+    def test_well_formed_xml(self, net):
+        root = ET.fromstring(network_to_svg(net))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_circle_per_node(self, net):
+        root = ET.fromstring(network_to_svg(net, labels=False))
+        circles = root.findall(f".//{SVG_NS}circle")
+        assert len(circles) == net.num_nodes
+
+    def test_one_line_per_edge(self, net):
+        root = ET.fromstring(network_to_svg(net, labels=False))
+        lines = root.findall(f".//{SVG_NS}g/{SVG_NS}line")
+        assert len(lines) == net.graph.num_edges
+
+    def test_labels_optional(self, net):
+        with_labels = network_to_svg(net, labels=True)
+        without = network_to_svg(net, labels=False)
+        assert with_labels.count("<text") == net.num_nodes
+        assert without.count("<text") == 0
+
+    def test_bad_scale_rejected(self, net):
+        with pytest.raises(ConfigurationError):
+            network_to_svg(net, scale=0)
+
+    def test_bad_highlight_edge_rejected(self, net):
+        missing = None
+        nodes = net.graph.nodes()
+        for u in nodes:
+            for v in nodes:
+                if u < v and not net.graph.has_edge(u, v):
+                    missing = (u, v)
+                    break
+            if missing:
+                break
+        assert missing is not None
+        with pytest.raises(ConfigurationError):
+            network_to_svg(net, highlight_edges=[missing])
+
+
+class TestBackboneSvg:
+    def test_roles_colour_coded(self, net):
+        cs = lowest_id_clustering(net.graph)
+        bb = build_static_backbone(cs)
+        svg = backbone_to_svg(net, bb, labels=False)
+        root = ET.fromstring(svg)
+        fills = [c.get("fill") for c in root.findall(f".//{SVG_NS}circle")]
+        assert fills.count("#1a1a1a") == len(cs.clusterheads)
+        assert fills.count("#9aa0a6") == len(bb.gateways)
+
+    def test_connector_edges_highlighted(self, net):
+        cs = lowest_id_clustering(net.graph)
+        bb = build_static_backbone(cs)
+        svg = backbone_to_svg(net, bb, labels=False)
+        assert 'stroke="#2f6fab"' in svg

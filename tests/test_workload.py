@@ -1,0 +1,146 @@
+"""Tests for the experiment harness (config, trials, figure drivers)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SampleBudgetExceededError
+from repro.workload.config import PaperEnvironment
+from repro.workload.experiments import (
+    DYNAMIC_25,
+    DYNAMIC_3,
+    FLOODING,
+    MO_CDS,
+    STATIC_25,
+    STATIC_3,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_flooding_comparison,
+)
+from repro.workload.trials import paired_trials
+
+TINY = PaperEnvironment(
+    ns=(15, 25), degrees=(6.0,), min_samples=6, max_samples=6, target=0.9,
+    seed=99,
+)
+
+
+class TestPaperEnvironment:
+    def test_paper_defaults(self):
+        env = PaperEnvironment.paper()
+        assert env.ns == (20, 40, 60, 80, 100)
+        assert env.degrees == (6.0, 18.0)
+        assert env.confidence == 0.99 and env.target == 0.05
+
+    def test_quick_bounds_trials(self):
+        env = PaperEnvironment.quick()
+        assert env.min_samples == env.max_samples
+
+    def test_scaled(self):
+        env = PaperEnvironment.paper().scaled(ns=(10,), seed=1)
+        assert env.ns == (10,) and env.seed == 1
+        assert env.degrees == (6.0, 18.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(ns=()), dict(ns=(1,)), dict(degrees=()), dict(degrees=(0.0,))],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PaperEnvironment(**kwargs)
+
+
+class TestPairedTrials:
+    def test_converges_on_constant_metrics(self):
+        outcome = paired_trials(
+            lambda gen: {"a": 5.0, "b": 7.0},
+            min_samples=4, max_samples=100, rng=0,
+        )
+        assert outcome.converged
+        assert outcome.trials == 4
+        assert outcome.estimates["a"].mean == 5.0
+        assert outcome.estimates["b"].mean == 7.0
+
+    def test_budget_exhaustion_nonstrict(self):
+        def noisy(gen):
+            return {"x": float(gen.normal(0.5, 100.0))}
+
+        outcome = paired_trials(noisy, min_samples=3, max_samples=5, rng=1)
+        assert not outcome.converged
+        assert outcome.trials == 5
+
+    def test_budget_exhaustion_strict_raises(self):
+        def noisy(gen):
+            return {"x": float(gen.normal(0.5, 100.0))}
+
+        with pytest.raises(SampleBudgetExceededError):
+            paired_trials(noisy, min_samples=3, max_samples=5, rng=1,
+                          strict=True)
+
+    def test_reproducible(self):
+        def trial(gen):
+            return {"v": float(gen.random())}
+
+        a = paired_trials(trial, min_samples=5, max_samples=5, rng=3)
+        b = paired_trials(trial, min_samples=5, max_samples=5, rng=3)
+        assert a.estimates["v"].mean == b.estimates["v"].mean
+
+
+class TestFigureDrivers:
+    def test_fig6_labels_and_shape(self):
+        tables = run_fig6(TINY)
+        table = tables[6.0]
+        labels = {s.label for s in table.series}
+        assert labels == {STATIC_25, STATIC_3, MO_CDS}
+        for s in table.series:
+            assert s.xs() == [15.0, 25.0]
+            # CDS sizes grow with n.
+            assert s.means()[0] < s.means()[1]
+
+    def test_fig6_static_close_to_mo(self):
+        table = run_fig6(TINY)[6.0]
+        static = table.get(STATIC_25).as_dict()
+        mo = table.get(MO_CDS).as_dict()
+        for x in static:
+            assert static[x] <= mo[x] + 1.0  # paired trials: close, static <=
+
+    def test_fig7_dynamic_below_mo(self):
+        table = run_fig7(TINY)[6.0]
+        dyn = table.get(DYNAMIC_25).as_dict()
+        mo = table.get(MO_CDS).as_dict()
+        for x in dyn:
+            assert dyn[x] <= mo[x]
+
+    def test_fig8_dynamic_below_static(self):
+        table = run_fig8(TINY)[6.0]
+        dyn = table.get(DYNAMIC_25).as_dict()
+        static = table.get(STATIC_25).as_dict()
+        for x in dyn:
+            assert dyn[x] <= static[x] + 0.5
+
+    def test_fig8_policies_close(self):
+        table = run_fig8(TINY)[6.0]
+        d25 = table.get(DYNAMIC_25).as_dict()
+        d3 = table.get(DYNAMIC_3).as_dict()
+        for x in d25:
+            assert d25[x] == pytest.approx(d3[x], rel=0.25, abs=2.0)
+
+    def test_flooding_dominates_everything(self):
+        tables = run_flooding_comparison(TINY)
+        table = tables[6.0]
+        flood = table.get(FLOODING).as_dict()
+        static = table.get(STATIC_25).as_dict()
+        for x in flood:
+            # Blind flooding forwards everywhere: n nodes.
+            assert flood[x] == pytest.approx(x)
+            assert static[x] < flood[x]
+
+    def test_multiple_degrees_produce_multiple_tables(self):
+        env = TINY.scaled(degrees=(6.0, 10.0))
+        tables = run_fig6(env)
+        assert set(tables) == {6.0, 10.0}
+
+    def test_reproducibility(self):
+        a = run_fig6(TINY)[6.0].get(STATIC_25).means()
+        b = run_fig6(TINY)[6.0].get(STATIC_25).means()
+        assert a == b

@@ -1,0 +1,41 @@
+"""Tests for the robustness (lossy channel) experiment."""
+
+import pytest
+
+from repro.workload.robustness import run_robustness_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_robustness_sweep(
+        losses=(0.0, 0.15, 0.3), n=40, average_degree=10.0, trials=6, rng=1
+    )
+
+
+class TestRobustnessSweep:
+    def test_point_per_loss(self, sweep):
+        assert [p.loss_probability for p in sweep] == [0.0, 0.15, 0.3]
+
+    def test_ideal_channel_full_delivery(self, sweep):
+        ideal = sweep[0]
+        for proto in ("flooding", "static", "dynamic"):
+            assert ideal.delivery[proto] == pytest.approx(1.0)
+
+    def test_passive_only_on_ideal_point(self, sweep):
+        assert "passive" in sweep[0].delivery
+        assert "passive" not in sweep[-1].delivery
+
+    def test_delivery_degrades_with_loss(self, sweep):
+        for proto in ("static", "dynamic"):
+            assert sweep[-1].delivery[proto] <= sweep[0].delivery[proto]
+
+    def test_flooding_most_robust(self, sweep):
+        # Maximum redundancy buys maximum loss tolerance.
+        worst = sweep[-1]
+        assert worst.delivery["flooding"] >= worst.delivery["static"] - 1e-9
+        assert worst.delivery["flooding"] >= worst.delivery["dynamic"] - 0.05
+
+    def test_forward_counts_recorded(self, sweep):
+        ideal = sweep[0]
+        assert ideal.forwards["flooding"] == pytest.approx(40.0)
+        assert ideal.forwards["dynamic"] < ideal.forwards["flooding"]

@@ -1,0 +1,39 @@
+"""Tests for the scaling study."""
+
+import pytest
+
+from repro.workload.scaling import run_scaling_study
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_scaling_study(ns=(100, 400), average_degree=10.0, rng=3)
+
+
+class TestScalingStudy:
+    def test_point_per_size(self, points):
+        assert [p.n for p in points] == [100, 400]
+
+    def test_component_dominates(self, points):
+        # At d=10 the giant component holds almost everything.
+        for p in points:
+            assert p.component_n >= 0.8 * p.n
+
+    def test_timings_positive_and_fast(self, points):
+        for p in points:
+            assert 0.0 <= p.total_seconds < 5.0
+            assert p.total_seconds == pytest.approx(
+                p.build_seconds + p.cluster_seconds
+                + p.coverage_seconds + p.backbone_seconds
+            )
+
+    def test_fractions_sane(self, points):
+        for p in points:
+            assert 0.0 < p.dynamic_fraction <= p.backbone_fraction + 0.05
+            assert p.backbone_fraction < 1.0
+
+    def test_fixed_density_fraction_stability(self, points):
+        small, large = points
+        assert large.backbone_fraction == pytest.approx(
+            small.backbone_fraction, abs=0.12
+        )

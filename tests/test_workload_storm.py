@@ -1,0 +1,119 @@
+"""Tests for the collision medium and the broadcast-storm experiment."""
+
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.generators import random_geometric_network, star_graph
+from repro.protocols.broadcast import DistributedSIBroadcast
+from repro.sim.medium import CollisionMedium
+from repro.sim.messages import Hello
+from repro.sim.network import SimNetwork
+from repro.workload.storm import run_storm_experiment
+
+
+class TestCollisionMedium:
+    def test_single_transmission_delivered(self):
+        net = SimNetwork(star_graph(3), collisions=True)
+        got = []
+        for node in net:
+            node.on(Hello, lambda n, s, m: got.append((n.id, s)))
+        net.sim.schedule(0.0, lambda: net.node(0).send(Hello(origin=0)))
+        net.run_phase()
+        assert sorted(got) == [(1, 0), (2, 0), (3, 0)]
+        assert net.medium.collisions == 0
+
+    def test_simultaneous_arrivals_collide(self):
+        # 0 and 1 both transmit at t=0; node 2 hears both -> both lost.
+        g = Graph(edges=[(0, 2), (1, 2), (0, 3)])
+        net = SimNetwork(g, collisions=True)
+        got = []
+        for node in net:
+            node.on(Hello, lambda n, s, m: got.append((n.id, s)))
+        net.sim.schedule(0.0, lambda: net.node(0).send(Hello(origin=0)),
+                         priority=(0,))
+        net.sim.schedule(0.0, lambda: net.node(1).send(Hello(origin=1)),
+                         priority=(1,))
+        net.run_phase()
+        # Node 3 hears only 0 (no contention); node 2 hears nothing.
+        assert got == [(3, 0)]
+        assert isinstance(net.medium, CollisionMedium)
+        assert net.medium.collisions == 2
+
+    def test_staggered_arrivals_do_not_collide(self):
+        g = Graph(edges=[(0, 2), (1, 2)])
+        net = SimNetwork(g, collisions=True)
+        got = []
+        net.node(2).on(Hello, lambda n, s, m: got.append(s))
+        net.sim.schedule(0.0, lambda: net.node(0).send(Hello(origin=0)))
+        net.sim.schedule(1.0, lambda: net.node(1).send(Hello(origin=1)))
+        net.run_phase()
+        assert got == [0, 1]
+        assert net.medium.collisions == 0
+
+    def test_disable_toggle(self):
+        g = Graph(edges=[(0, 2), (1, 2)])
+        net = SimNetwork(g, collisions=True)
+        net.medium.enabled = False
+        got = []
+        net.node(2).on(Hello, lambda n, s, m: got.append(s))
+        net.sim.schedule(0.0, lambda: net.node(0).send(Hello(origin=0)),
+                         priority=(0,))
+        net.sim.schedule(0.0, lambda: net.node(1).send(Hello(origin=1)),
+                         priority=(1,))
+        net.run_phase()
+        assert got == [0, 1]  # ideal behaviour while disabled
+
+
+class TestJitteredBroadcast:
+    def test_zero_jitter_is_default_behaviour(self):
+        net = random_geometric_network(20, 8.0, rng=0)
+        sim_a = SimNetwork(net.graph)
+        a = DistributedSIBroadcast(sim_a, net.graph.nodes())
+        a.start(0)
+        sim_a.run_phase()
+        assert a.result().delivered_to_all(net.graph)
+
+    def test_jitter_preserves_delivery_on_ideal_medium(self):
+        net = random_geometric_network(20, 8.0, rng=1)
+        sim_net = SimNetwork(net.graph)
+        proto = DistributedSIBroadcast(
+            sim_net, net.graph.nodes(), jitter_slots=3, rng=2
+        )
+        proto.start(0)
+        sim_net.run_phase()
+        assert proto.result().delivered_to_all(net.graph)
+
+    def test_synchronised_flood_collides_catastrophically(self):
+        # Without back-off, the second relay wave is fully simultaneous and
+        # dense neighbourhoods destroy it: the storm in its purest form.
+        net = random_geometric_network(40, 18.0, rng=3)
+        sim_net = SimNetwork(net.graph, collisions=True)
+        flood = DistributedSIBroadcast(sim_net, net.graph.nodes())
+        flood.start(0)
+        sim_net.run_phase()
+        assert sim_net.medium.collisions > 0
+        # With a back-off window the same flood mostly recovers.
+        sim_net2 = SimNetwork(net.graph, collisions=True)
+        flood2 = DistributedSIBroadcast(
+            sim_net2, net.graph.nodes(), jitter_slots=6, rng=4
+        )
+        flood2.start(0)
+        sim_net2.run_phase()
+        assert len(flood2.result().received) >= len(flood.result().received)
+
+
+class TestStormExperiment:
+    def test_shape(self):
+        points = run_storm_experiment(
+            degrees=(6.0, 18.0), n=30, trials=4, jitter_slots=4, rng=5
+        )
+        assert [p.average_degree for p in points] == [6.0, 18.0]
+        sparse, dense = points
+        # Channel damage grows with density for flooding...
+        assert dense.collisions["flooding"] > sparse.collisions["flooding"]
+        # ...and the dynamic backbone stays far below it when dense.
+        assert (dense.collisions["dynamic"]
+                < 0.5 * dense.collisions["flooding"])
+        for p in points:
+            for proto in ("flooding", "static", "dynamic"):
+                assert 0.5 <= p.delivery[proto] <= 1.0
