@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper figures examples lint clean
+.PHONY: install test bench bench-paper bench-topology figures examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,6 +18,9 @@ bench:
 
 bench-paper:
 	REPRO_BENCH_FIDELITY=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-topology:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_topology_cache.py
 
 figures:
 	$(PYTHON) -m repro.cli experiment fig6 --ci

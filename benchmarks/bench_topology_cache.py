@@ -1,0 +1,208 @@
+"""Cached vs from-scratch backbone maintenance under a link event stream.
+
+The tentpole claim of the :mod:`repro.topology` layer: when the backbone
+must stay current after **every** mobility-induced link event (the paper's
+static-backbone maintenance regime), repairing through a shared
+:class:`~repro.topology.view.TopologyView` and
+:class:`~repro.topology.coverage_index.CoverageIndex` (ball-local
+invalidation, single-edge clustering repairs) beats recomputing clustering
++ coverage sets + gateway selections from scratch at each event — while
+producing identical structures throughout.
+
+Runs standalone (the CI smoke test and ``make bench-topology``)::
+
+    PYTHONPATH=src python benchmarks/bench_topology_cache.py --quick
+    PYTHONPATH=src python benchmarks/bench_topology_cache.py --json
+
+It is also collected by pytest (``bench_*.py``): the equivalence test below
+replays a small stream through both paths and asserts event-for-event
+equality; timing assertions stay out of the test suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import List, Tuple
+
+from repro.backbone.static_backbone import build_static_backbone
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.geometry.mobility import RandomWalk
+from repro.graph.adjacency import Graph
+from repro.graph.generators import random_geometric_network
+from repro.maintenance.incremental import IncrementalLowestIdClustering
+from repro.topology.coverage_index import CoverageIndex
+from repro.types import CoveragePolicy
+
+#: One link event: ("add" | "remove", u, v).
+Event = Tuple[str, int, int]
+
+#: What both strategies must agree on after every event.
+Snapshot = Tuple[dict, frozenset, dict]
+
+
+def build_event_stream(n: int, ticks: int, *, degree: float = 6.0,
+                       speed: float = 0.1,
+                       seed: int = 0) -> Tuple[Graph, List[Event]]:
+    """A start graph plus the link events of a random-walk mobility run.
+
+    Each tick moves every node ``speed`` units (the paper's 100x100 area;
+    at ``n=250``/degree 6 the radio range is ~8.8 units, so the default is
+    ~1% of the range per tick — a HELLO-interval timescale).  The tick's
+    edge diff is flattened into deterministic single-link events: removals
+    in sorted order, then insertions in sorted order.
+    """
+    network = random_geometric_network(n, degree, rng=seed)
+    mobility = RandomWalk(speed=speed, rng=seed + 1)
+    ids = network.graph.nodes()
+    start = network.graph.copy()
+    events: List[Event] = []
+    prev = set(start.edges())
+    for _ in range(ticks):
+        moved = mobility.step(network.position_array(ids), 1.0)
+        network = network.moved(moved, order=ids)
+        cur = set(network.graph.edges())
+        events.extend(("remove", u, v) for u, v in sorted(prev - cur))
+        events.extend(("add", u, v) for u, v in sorted(cur - prev))
+        prev = cur
+    return start, events
+
+
+def _snapshot(structure, backbone) -> Snapshot:
+    return (dict(structure.head_of), backbone.nodes, dict(backbone.selections))
+
+
+def run_scratch(start: Graph, events: List[Event],
+                policy: CoveragePolicy) -> Tuple[float, List[Snapshot]]:
+    """Full recomputation after every event (the pre-topology baseline)."""
+    graph = start.copy()
+    snapshots: List[Snapshot] = []
+    t0 = time.perf_counter()
+    for op, u, v in events:
+        if op == "remove":
+            graph.remove_edge(u, v)
+        else:
+            graph.add_edge(u, v)
+        structure = lowest_id_clustering(graph)
+        snapshots.append(_snapshot(structure,
+                                   build_static_backbone(structure, policy)))
+    return time.perf_counter() - t0, snapshots
+
+
+def run_incremental(start: Graph, events: List[Event],
+                    policy: CoveragePolicy) -> Tuple[float, List[Snapshot]]:
+    """Single-edge repairs + generation-keyed coverage cache."""
+    snapshots: List[Snapshot] = []
+    t0 = time.perf_counter()
+    clustering = IncrementalLowestIdClustering(start)
+    index = CoverageIndex(clustering.view, policy)
+    structure = clustering.structure(graph=clustering.graph)
+    build_static_backbone(structure, policy, index=index)  # warm the cache
+    for op, u, v in events:
+        if op == "remove":
+            summary = clustering.remove_edge(u, v)
+        else:
+            summary = clustering.add_edge(u, v)
+        if summary.role_changes:
+            index.invalidate_roles(summary.role_changes)
+            # head_of changed: the old snapshot is stale.
+            structure = clustering.structure(graph=clustering.graph)
+        # else: the snapshot aliases the live graph and head_of is
+        # unchanged, so it is still current — no rebuild needed.
+        backbone = build_static_backbone(structure, policy, index=index)
+        snapshots.append(_snapshot(structure, backbone))
+    return time.perf_counter() - t0, snapshots
+
+
+def check_equivalence(scratch: List[Snapshot],
+                      incremental: List[Snapshot]) -> None:
+    """Both strategies must produce identical structures at every event."""
+    assert len(scratch) == len(incremental)
+    for i, (a, b) in enumerate(zip(scratch, incremental)):
+        assert a[0] == b[0], f"head assignment diverged at event {i}"
+        assert a[1] == b[1], f"backbone nodes diverged at event {i}"
+        assert a[2] == b[2], f"gateway selections diverged at event {i}"
+
+
+def run_bench(*, n: int, ticks: int, degree: float, speed: float,
+              seed: int, policy: CoveragePolicy) -> dict:
+    """Execute both strategies on one event stream and summarise."""
+    start, events = build_event_stream(n, ticks, degree=degree, speed=speed,
+                                       seed=seed)
+    scratch_s, scratch_snaps = run_scratch(start, events, policy)
+    inc_s, inc_snaps = run_incremental(start, events, policy)
+    check_equivalence(scratch_snaps, inc_snaps)
+    n_events = max(len(events), 1)
+    return {
+        "n": n,
+        "ticks": ticks,
+        "degree": degree,
+        "speed": speed,
+        "policy": policy.label,
+        "events": len(events),
+        "scratch_ms_per_event": round(1e3 * scratch_s / n_events, 3),
+        "incremental_ms_per_event": round(1e3 * inc_s / n_events, 3),
+        "speedup": round(scratch_s / inc_s, 2) if inc_s > 0 else float("inf"),
+    }
+
+
+def test_strategies_agree_on_small_stream():
+    """Pytest hook: event-for-event equality on a small mobility stream."""
+    start, events = build_event_stream(40, 5, speed=1.0, seed=3)
+    policy = CoveragePolicy.TWO_FIVE_HOP
+    _, scratch_snaps = run_scratch(start, events, policy)
+    _, inc_snaps = run_incremental(start, events, policy)
+    assert events, "stream should contain link events"
+    check_equivalence(scratch_snaps, inc_snaps)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small instance for CI smoke (seconds)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON")
+    parser.add_argument("--n", type=int, default=None,
+                        help="node count (default 250; 100 with --quick)")
+    parser.add_argument("--ticks", type=int, default=None,
+                        help="mobility ticks (default 40; 15 with --quick)")
+    parser.add_argument("--degree", type=float, default=6.0)
+    parser.add_argument("--speed", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail (exit 1) if speedup falls below this")
+    args = parser.parse_args(argv)
+
+    n = args.n if args.n is not None else (100 if args.quick else 250)
+    ticks = args.ticks if args.ticks is not None else (
+        15 if args.quick else 40)
+    summary = run_bench(n=n, ticks=ticks, degree=args.degree,
+                        speed=args.speed, seed=args.seed,
+                        policy=CoveragePolicy.TWO_FIVE_HOP)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"topology cache bench: n={summary['n']} "
+              f"ticks={summary['ticks']} degree={summary['degree']} "
+              f"speed={summary['speed']} events={summary['events']}")
+        print(f"  scratch:     {summary['scratch_ms_per_event']:8.2f} "
+              f"ms/event")
+        print(f"  incremental: {summary['incremental_ms_per_event']:8.2f} "
+              f"ms/event")
+        print(f"  speedup:     {summary['speedup']:.2f}x "
+              f"(structures identical after every event)")
+    if summary["events"] == 0:
+        print("note: stream produced no link events (speed/ticks too low); "
+              "speedup is meaningless and the --min-speedup gate is skipped")
+        return 0
+    if args.min_speedup and summary["speedup"] < args.min_speedup:
+        print(f"FAIL: speedup {summary['speedup']:.2f}x below required "
+              f"{args.min_speedup:.2f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,6 +60,7 @@ from repro.coverage import (
 )
 from repro.errors import ReproError
 from repro.geometry import Area
+from repro.topology import CoverageIndex, TopologyView, as_view
 from repro.graph import (
     Graph,
     Network,
@@ -90,6 +91,10 @@ __all__ = [
     "validate_cluster_structure",
     "build_cluster_graph",
     "cluster_graph_is_strongly_connected",
+    # topology
+    "TopologyView",
+    "CoverageIndex",
+    "as_view",
     # coverage
     "CoverageSet",
     "CoveragePolicy",

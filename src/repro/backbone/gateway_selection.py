@@ -96,6 +96,11 @@ def select_gateways(
         for v, w in pairs:
             indirect_of.setdefault(v, {}).setdefault(ch, set()).add(w)
 
+    # Hoisted once: the C3 targets each first-hop candidate can absorb.
+    indirect_targets: Dict[NodeId, FrozenSet[NodeId]] = {
+        v: frozenset(chs) for v, chs in indirect_of.items()
+    }
+
     # Phase 1: greedy direct coverage of C2, absorbing C3 targets en route.
     while remaining2:
         best_v: Optional[NodeId] = None
@@ -104,9 +109,7 @@ def select_gateways(
             gain2 = len(direct & remaining2)
             if gain2 == 0:
                 continue
-            gain3 = len(
-                set(indirect_of.get(v, ())) & remaining3
-            )
+            gain3 = len(indirect_targets.get(v, frozenset()) & remaining3)
             key = (gain2, gain3, -v)
             if best_v is None or key > best_key:
                 best_v, best_key = v, key

@@ -20,23 +20,29 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.broadcast.result import BroadcastResult
 from repro.errors import BroadcastError, NodeNotFoundError
-from repro.graph.adjacency import Graph
+from repro.topology.view import TopologyLike, as_view
 from repro.types import NodeId
 
 
-def mpr_set(graph: Graph, v: NodeId) -> FrozenSet[NodeId]:
+def mpr_set(graph: TopologyLike, v: NodeId) -> FrozenSet[NodeId]:
     """The greedy multipoint relay set of ``v``.
+
+    Accepts a plain graph or a shared
+    :class:`~repro.topology.view.TopologyView`; with a view, the neighbour
+    sets fetched here are reused by every other node's MPR computation.
 
     Returns:
         A subset of ``N(v)`` covering every node at distance exactly 2.
     """
+    view = as_view(graph)
+    graph = view.graph
     if v not in graph:
         raise NodeNotFoundError(v)
-    n1 = set(graph.neighbours_view(v))
+    n1 = view.neighbours(v)
     n2: Set[NodeId] = set()
     reach: Dict[NodeId, Set[NodeId]] = {}
     for u in n1:
-        targets = graph.neighbours_view(u) - n1 - {v}
+        targets = view.neighbours(u) - n1 - {v}
         reach[u] = set(targets)
         n2 |= targets
     mpr: Set[NodeId] = set()
@@ -66,13 +72,14 @@ def mpr_set(graph: Graph, v: NodeId) -> FrozenSet[NodeId]:
     return frozenset(mpr)
 
 
-def all_mpr_sets(graph: Graph) -> Dict[NodeId, FrozenSet[NodeId]]:
-    """MPR sets of every node."""
-    return {v: mpr_set(graph, v) for v in graph.nodes()}
+def all_mpr_sets(graph: TopologyLike) -> Dict[NodeId, FrozenSet[NodeId]]:
+    """MPR sets of every node (one shared view serves all of them)."""
+    view = as_view(graph)
+    return {v: mpr_set(view, v) for v in view.graph.nodes()}
 
 
 def broadcast_mpr(
-    graph: Graph,
+    graph: TopologyLike,
     source: NodeId,
     *,
     mpr_sets: Optional[Dict[NodeId, FrozenSet[NodeId]]] = None,
@@ -80,17 +87,19 @@ def broadcast_mpr(
     """Run an MPR-flooding broadcast from ``source``.
 
     Args:
-        graph: The network.
+        graph: The network (plain graph or shared topology view).
         source: Originating node.
         mpr_sets: Pre-computed MPR sets (computed when omitted).
 
     Returns:
         The :class:`~repro.broadcast.result.BroadcastResult`.
     """
+    view = as_view(graph)
+    graph = view.graph
     if source not in graph:
         raise NodeNotFoundError(source)
     if mpr_sets is None:
-        mpr_sets = all_mpr_sets(graph)
+        mpr_sets = all_mpr_sets(view)
 
     reception: Dict[NodeId, int] = {source: 0}
     forwarded: Set[NodeId] = set()
@@ -108,7 +117,7 @@ def broadcast_mpr(
             raise BroadcastError("MPR broadcast failed to terminate")
         for sender in sorted(schedule.pop(t)):
             relays = mpr_sets[sender]
-            for x in sorted(graph.neighbours_view(sender)):
+            for x in view.sorted_neighbours(sender):
                 if x not in reception:
                     reception[x] = t + 1
                     # Forward iff the *first* copy came from a selector.

@@ -28,7 +28,7 @@ Model notes (see DESIGN.md, "Interpretation decisions"):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 from repro.backbone.gateway_selection import select_gateways
 from repro.broadcast.result import BroadcastResult
@@ -37,6 +37,10 @@ from repro.coverage.entries import CoverageSet
 from repro.coverage.policy import compute_all_coverage_sets
 from repro.errors import BroadcastError, NodeNotFoundError
 from repro.types import CoveragePolicy, NodeId, PruningLevel
+
+if TYPE_CHECKING:
+    from repro.topology.coverage_index import CoverageIndex
+    from repro.topology.view import TopologyView
 
 
 @dataclass(frozen=True)
@@ -108,6 +112,8 @@ def broadcast_sd(
     policy: CoveragePolicy = CoveragePolicy.TWO_FIVE_HOP,
     pruning: PruningLevel = PruningLevel.FULL,
     coverage_sets: Optional[Mapping[NodeId, CoverageSet]] = None,
+    view: Optional["TopologyView"] = None,
+    index: Optional["CoverageIndex"] = None,
 ) -> DynamicBroadcast:
     """Run one dynamic-backbone broadcast.
 
@@ -118,6 +124,12 @@ def broadcast_sd(
         pruning: How much piggybacked history to exploit (``FULL`` is the
             paper's protocol; ``BASIC``/``NONE`` exist for ablation).
         coverage_sets: Pre-computed coverage sets matching ``policy``.
+        view: Shared topology view serving the propagation loop's neighbour
+            queries (defaults to the structure's own view, so repeated
+            broadcasts over one clustering share the memoized answers).
+        index: A coverage index to pull per-head coverage sets from instead
+            of recomputing them (its policy must match ``policy``; mutually
+            exclusive with ``coverage_sets``).
 
     Returns:
         A :class:`DynamicBroadcast`.
@@ -125,8 +137,19 @@ def broadcast_sd(
     graph = structure.graph
     if source not in graph:
         raise NodeNotFoundError(source)
+    if view is None:
+        view = structure.topology
+    if index is not None:
+        if coverage_sets is not None:
+            raise ValueError("pass either coverage_sets or index, not both")
+        if index.policy is not policy:
+            raise ValueError(
+                f"index policy {index.policy.label} does not match "
+                f"requested policy {policy.label}"
+            )
+        coverage_sets = index.all_coverage_sets(structure)
     if coverage_sets is None:
-        coverage_sets = compute_all_coverage_sets(structure, policy)
+        coverage_sets = compute_all_coverage_sets(structure, policy, view=view)
 
     reception: Dict[NodeId, int] = {source: 0}
     forward_nodes: Set[NodeId] = set()
@@ -205,7 +228,7 @@ def broadcast_sd(
             )
         batch = sorted(schedule.pop(t), key=lambda sp: sp[0])
         for sender, packet in batch:
-            for x in sorted(graph.neighbours_view(sender)):
+            for x in view.sorted_neighbours(sender):
                 if x not in reception:
                     reception[x] = t + 1
                 if structure.is_clusterhead(x):

@@ -14,12 +14,12 @@ from typing import Dict, Iterable, Set, Union
 from repro.backbone.static_backbone import Backbone
 from repro.broadcast.result import BroadcastResult
 from repro.errors import NodeNotFoundError
-from repro.graph.adjacency import Graph
+from repro.topology.view import TopologyLike, as_view
 from repro.types import NodeId
 
 
 def broadcast_si(
-    graph: Graph,
+    graph: TopologyLike,
     cds: Union[Backbone, Iterable[NodeId]],
     source: NodeId,
     *,
@@ -28,7 +28,10 @@ def broadcast_si(
     """Broadcast from ``source`` with forwarding restricted to ``cds``.
 
     Args:
-        graph: The network.
+        graph: The network — a plain :class:`~repro.graph.adjacency.Graph`
+            or a shared :class:`~repro.topology.view.TopologyView` (pass the
+            view when broadcasting repeatedly over one topology so the
+            neighbour sets are memoized across calls).
         cds: A :class:`~repro.backbone.static_backbone.Backbone` or a bare
             node set acting as the source-independent CDS.
         source: Originating node (need not be in the CDS).
@@ -38,6 +41,8 @@ def broadcast_si(
     Returns:
         The :class:`~repro.broadcast.result.BroadcastResult`.
     """
+    view = as_view(graph)
+    graph = view.graph
     if source not in graph:
         raise NodeNotFoundError(source)
     if isinstance(cds, Backbone):
@@ -54,7 +59,7 @@ def broadcast_si(
     forwarded.add(source)
     while queue:
         t, sender = queue.popleft()
-        for w in graph.neighbours_view(sender):
+        for w in view.neighbours(sender):
             if w not in reception:
                 reception[w] = t + 1
                 if w in members:

@@ -64,6 +64,22 @@ class ClusterStructure:
                 )
 
     @cached_property
+    def topology(self):
+        """A shared :class:`~repro.topology.view.TopologyView` over the graph.
+
+        Lazily constructed once per structure, so every coverage set,
+        gateway selection and broadcast computed over this clustering reuses
+        the same memoized neighbourhood queries.  Valid for the structure's
+        lifetime because both the structure and (by convention) its graph
+        are immutable once clustered.
+        """
+        # Local import: repro.topology is a lower layer but its package
+        # __init__ pulls in modules that import this one.
+        from repro.topology.view import TopologyView
+
+        return TopologyView(self.graph)
+
+    @cached_property
     def clusterheads(self) -> FrozenSet[NodeId]:
         """All clusterhead ids."""
         return frozenset(h for v, h in self.head_of.items() if v == h)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.cluster.state import ClusterStructure
 from repro.coverage.entries import CoverageSet
@@ -10,26 +10,47 @@ from repro.coverage.three_hop import three_hop_coverage
 from repro.coverage.two_five_hop import two_five_hop_coverage
 from repro.types import CoveragePolicy, NodeId
 
+if TYPE_CHECKING:
+    from repro.topology.view import TopologyView
+
 
 def compute_coverage_set(
     structure: ClusterStructure,
     head: NodeId,
     policy: CoveragePolicy = CoveragePolicy.TWO_FIVE_HOP,
+    *,
+    view: Optional["TopologyView"] = None,
 ) -> CoverageSet:
-    """Coverage set of ``head`` under ``policy``."""
+    """Coverage set of ``head`` under ``policy``.
+
+    Args:
+        structure: A finished clustering.
+        head: The clusterhead whose set to build.
+        policy: Which coverage definition to apply.
+        view: Shared topology view (defaults to the structure's own).
+    """
     if policy is CoveragePolicy.TWO_FIVE_HOP:
-        return two_five_hop_coverage(structure, head)
+        return two_five_hop_coverage(structure, head, view=view)
     if policy is CoveragePolicy.THREE_HOP:
-        return three_hop_coverage(structure, head)
+        return three_hop_coverage(structure, head, view=view)
     raise ValueError(f"unknown coverage policy {policy!r}")
 
 
 def compute_all_coverage_sets(
     structure: ClusterStructure,
     policy: CoveragePolicy = CoveragePolicy.TWO_FIVE_HOP,
+    *,
+    view: Optional["TopologyView"] = None,
 ) -> Dict[NodeId, CoverageSet]:
-    """Coverage sets for every clusterhead, keyed by head id."""
+    """Coverage sets for every clusterhead, keyed by head id.
+
+    All heads share one :class:`~repro.topology.view.TopologyView` (the
+    given one, or the structure's), so neighbour frozensets and BFS
+    frontiers computed for one head are reused by the others.
+    """
+    if view is None:
+        view = structure.topology
     return {
-        h: compute_coverage_set(structure, h, policy)
+        h: compute_coverage_set(structure, h, policy, view=view)
         for h in structure.sorted_heads()
     }

@@ -13,21 +13,32 @@ the tests verify.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.cluster.state import ClusterStructure
 from repro.coverage.entries import CoverageSet, WitnessPair, freeze_witnesses
 from repro.errors import CoverageError
-from repro.graph.traversal import bfs_distances
 from repro.types import CoveragePolicy, NodeId
 
+if TYPE_CHECKING:
+    from repro.topology.view import TopologyView
 
-def three_hop_coverage(structure: ClusterStructure, head: NodeId) -> CoverageSet:
+
+def three_hop_coverage(
+    structure: ClusterStructure,
+    head: NodeId,
+    *,
+    view: Optional["TopologyView"] = None,
+) -> CoverageSet:
     """Compute clusterhead ``head``'s 3-hop coverage set.
 
     Args:
         structure: A finished clustering of the network.
         head: The clusterhead whose coverage set to build.
+        view: Topology view to serve the neighbourhood queries (must wrap a
+            graph equal to ``structure.graph``).  Defaults to the
+            structure's shared view, so repeated coverage builds over one
+            clustering reuse each other's BFS work.
 
     Returns:
         The :class:`~repro.coverage.entries.CoverageSet` with witnesses.
@@ -37,8 +48,9 @@ def three_hop_coverage(structure: ClusterStructure, head: NodeId) -> CoverageSet
     """
     if not structure.is_clusterhead(head):
         raise CoverageError(f"node {head} is not a clusterhead")
-    graph = structure.graph
-    dist = bfs_distances(graph, head, max_depth=3)
+    if view is None:
+        view = structure.topology
+    dist = view.distances_within(head, 3)
 
     c2: Set[NodeId] = set()
     direct: Dict[NodeId, Set[NodeId]] = {}
@@ -54,15 +66,14 @@ def three_hop_coverage(structure: ClusterStructure, head: NodeId) -> CoverageSet
             c3.add(node)
         # d == 1 is impossible: clusterheads form an independent set.
 
-    neighbours = graph.neighbours_view(head)
     for ch in c2:
-        direct[ch] = set(graph.neighbours_view(ch) & neighbours)
+        direct[ch] = set(view.common_neighbours(ch, head))
     for ch in c3:
         pairs: Set[WitnessPair] = set()
-        for w in graph.neighbours_view(ch):
+        for w in view.neighbours(ch):
             if dist.get(w) != 2:
                 continue
-            for v in graph.neighbours_view(w) & neighbours:
+            for v in view.common_neighbours(w, head):
                 pairs.add((v, w))
         indirect[ch] = pairs
 

@@ -22,20 +22,31 @@ property-tested to agree with this function.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.cluster.state import ClusterStructure
 from repro.coverage.entries import CoverageSet, WitnessPair, freeze_witnesses
 from repro.errors import CoverageError
 from repro.types import CoveragePolicy, NodeId
 
+if TYPE_CHECKING:
+    from repro.topology.view import TopologyView
 
-def two_five_hop_coverage(structure: ClusterStructure, head: NodeId) -> CoverageSet:
+
+def two_five_hop_coverage(
+    structure: ClusterStructure,
+    head: NodeId,
+    *,
+    view: Optional["TopologyView"] = None,
+) -> CoverageSet:
     """Compute clusterhead ``head``'s 2.5-hop coverage set.
 
     Args:
         structure: A finished clustering of the network.
         head: The clusterhead whose coverage set to build.
+        view: Topology view to serve the neighbourhood queries (must wrap a
+            graph equal to ``structure.graph``).  Defaults to the
+            structure's shared view.
 
     Returns:
         The :class:`~repro.coverage.entries.CoverageSet` with witnesses.
@@ -45,16 +56,17 @@ def two_five_hop_coverage(structure: ClusterStructure, head: NodeId) -> Coverage
     """
     if not structure.is_clusterhead(head):
         raise CoverageError(f"node {head} is not a clusterhead")
-    graph = structure.graph
+    if view is None:
+        view = structure.topology
 
     c2: Set[NodeId] = set()
     direct: Dict[NodeId, Set[NodeId]] = {}
     # C2(u): union of CH_HOP1(v) over u's neighbours v, minus u itself.
     # (All neighbours of a clusterhead are non-clusterheads, so each really
     # does send a CH_HOP1.)
-    for v in graph.neighbours_view(head):
-        for ch in structure.neighbouring_clusterheads(v):
-            if ch == head:
+    for v in view.neighbours(head):
+        for ch in view.neighbours(v):
+            if not structure.is_clusterhead(ch) or ch == head:
                 continue
             c2.add(ch)
             direct.setdefault(ch, set()).add(v)
@@ -63,12 +75,12 @@ def two_five_hop_coverage(structure: ClusterStructure, head: NodeId) -> Coverage
     indirect: Dict[NodeId, Set[WitnessPair]] = {}
     # C3(u): union of CH_HOP2(v) entries.  v's CH_HOP2 holds head(w)[w] for
     # each non-clusterhead neighbour w whose own head is not adjacent to v.
-    for v in graph.neighbours_view(head):
-        for w in graph.neighbours_view(v):
+    for v in view.neighbours(head):
+        for w in view.neighbours(v):
             if structure.is_clusterhead(w):
                 continue  # CH_HOP1 of clusterheads does not exist
             ch = structure.head_of[w]
-            if ch in graph.neighbours_view(v):
+            if ch in view.neighbours(v):
                 continue  # v ignores entries whose head it already neighbours
             if ch == head:
                 continue  # defensive; implied by the previous test since v ~ head

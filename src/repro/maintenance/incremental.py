@@ -17,11 +17,12 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Set
+from typing import Dict, FrozenSet, Optional, Set
 
 from repro.cluster.state import ClusterStructure
 from repro.errors import NodeNotFoundError
 from repro.graph.adjacency import Graph
+from repro.topology.view import TopologyView
 from repro.types import NodeId
 
 
@@ -44,6 +45,16 @@ class RepairSummary:
         """Total distinct nodes involved in the repair."""
         return len(self.reevaluated | self.flipped | self.reassigned)
 
+    @property
+    def role_changes(self) -> FrozenSet[NodeId]:
+        """Nodes whose role or head assignment changed.
+
+        Exactly what a
+        :class:`~repro.topology.coverage_index.CoverageIndex` must be told
+        via ``invalidate_roles`` after this repair.
+        """
+        return self.flipped | self.reassigned
+
 
 class IncrementalLowestIdClustering:
     """Maintain a lowest-ID clustering across single-link events.
@@ -56,7 +67,8 @@ class IncrementalLowestIdClustering:
     """
 
     def __init__(self, graph: Graph) -> None:
-        self._graph = graph.copy()
+        self._view = TopologyView(graph.copy())
+        self._graph = self._view.graph
         self._is_head: Dict[NodeId, bool] = {}
         self._head_of: Dict[NodeId, NodeId] = {}
         for v in self._graph.nodes():  # ascending: the sequential rule
@@ -71,9 +83,28 @@ class IncrementalLowestIdClustering:
         """The maintained topology (do not mutate directly)."""
         return self._graph
 
-    def structure(self) -> ClusterStructure:
-        """Snapshot the current clustering."""
-        return ClusterStructure(graph=self._graph.copy(),
+    @property
+    def view(self) -> TopologyView:
+        """The shared topology view over the maintained graph.
+
+        Edge events applied through :meth:`add_edge` / :meth:`remove_edge`
+        dirty only the ≤3-hop ball around the touched endpoints, so
+        downstream consumers (coverage indices, backbone refreshes) reuse
+        every cached answer outside the ball.
+        """
+        return self._view
+
+    def structure(self, *, graph: Optional[Graph] = None) -> ClusterStructure:
+        """Snapshot the current clustering.
+
+        Args:
+            graph: Wrap this graph instead of copying the internal one.  It
+                must be topology-equal to :attr:`graph`; callers that
+                already hold an equal snapshot (e.g. a freshly rebuilt unit
+                disk graph) avoid the copy.
+        """
+        return ClusterStructure(graph=graph if graph is not None
+                                else self._graph.copy(),
                                 head_of=dict(self._head_of))
 
     def is_clusterhead(self, v: NodeId) -> bool:
@@ -138,15 +169,15 @@ class IncrementalLowestIdClustering:
         )
 
     def add_edge(self, u: NodeId, v: NodeId) -> RepairSummary:
-        """Insert link ``{u, v}`` and repair the clustering."""
+        """Insert link ``{u, v}``, repair the clustering, dirty the view."""
         if u not in self._graph:
             raise NodeNotFoundError(u)
         if v not in self._graph:
             raise NodeNotFoundError(v)
-        self._graph.add_edge(u, v)
+        self._view.add_edge(u, v)
         return self._repair({u, v})
 
     def remove_edge(self, u: NodeId, v: NodeId) -> RepairSummary:
-        """Remove link ``{u, v}`` and repair the clustering."""
-        self._graph.remove_edge(u, v)
+        """Remove link ``{u, v}``, repair the clustering, dirty the view."""
+        self._view.remove_edge(u, v)
         return self._repair({u, v})

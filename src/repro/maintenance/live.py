@@ -70,10 +70,13 @@ def _hop1_content(structure: ClusterStructure, v: NodeId) -> frozenset:
 
 def _hop2_content(structure: ClusterStructure, v: NodeId) -> frozenset:
     """The CH_HOP2 entries node ``v`` would announce (2.5-hop semantics)."""
-    graph = structure.graph
+    # The structure's shared TopologyView memoizes the neighbour sets: the
+    # diffing below probes every non-head of both the old and new structure,
+    # so the same sets are read many times per epoch.
+    view = structure.topology
     my_heads = structure.neighbouring_clusterheads(v)
     entries = set()
-    for w in graph.neighbours_view(v):
+    for w in view.neighbours(v):
         if structure.is_clusterhead(w):
             continue
         ch = structure.head_of[w]
@@ -85,8 +88,8 @@ def _hop2_content(structure: ClusterStructure, v: NodeId) -> frozenset:
 def _gateway_message_cost(backbone: Backbone, head: NodeId) -> int:
     """One GATEWAY send plus the TTL-2 forwards by first-hop gateways."""
     selection = backbone.selections[head]
-    graph = backbone.structure.graph
-    first_hop = selection.gateways & graph.neighbours_view(head)
+    view = backbone.structure.topology
+    first_hop = selection.gateways & view.neighbours(head)
     return 1 + len(first_hop)
 
 

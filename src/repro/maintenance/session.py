@@ -20,12 +20,14 @@ from repro.cluster.state import ClusterStructure
 from repro.geometry.mobility import MobilityModel
 from repro.graph.connectivity import is_connected
 from repro.graph.network import Network
+from repro.maintenance.incremental import IncrementalLowestIdClustering
 from repro.maintenance.stability import (
     BackboneChurn,
     ClusterChurn,
     backbone_churn,
     cluster_churn,
 )
+from repro.topology.coverage_index import CoverageIndex
 from repro.types import CoveragePolicy
 
 
@@ -64,6 +66,15 @@ class MobilitySession:
         network: Initial snapshot.
         mobility: The movement model (steps the position array).
         policy: Coverage policy for the maintained static backbone.
+        incremental: Maintain clustering and coverage sets incrementally.
+            Each tick's link changes are applied as single-edge repairs to
+            an :class:`~repro.maintenance.incremental.IncrementalLowestIdClustering`
+            whose shared :class:`~repro.topology.view.TopologyView` dirties
+            only the ≤3-hop balls around the changed links; a
+            :class:`~repro.topology.coverage_index.CoverageIndex` then
+            recomputes only the dirty heads.  The per-tick structures and
+            backbones are identical to the from-scratch path (property
+            tested) — only the work done differs.
     """
 
     def __init__(
@@ -71,15 +82,53 @@ class MobilitySession:
         network: Network,
         mobility: MobilityModel,
         policy: CoveragePolicy = CoveragePolicy.TWO_FIVE_HOP,
+        *,
+        incremental: bool = False,
     ) -> None:
         self.network = network
         self.mobility = mobility
         self.policy = policy
         self.time = 0.0
         self._ids = network.graph.nodes()
-        self.structure = lowest_id_clustering(network.graph)
-        self.backbone = build_static_backbone(self.structure, policy)
+        self.incremental = incremental
+        #: The coverage/selection cache driving the incremental path
+        #: (``None`` when ``incremental=False``).
+        self.coverage_index: Optional[CoverageIndex] = None
+        self._clustering: Optional[IncrementalLowestIdClustering] = None
+        if incremental:
+            self._clustering = IncrementalLowestIdClustering(network.graph)
+            self.coverage_index = CoverageIndex(self._clustering.view, policy)
+            self.structure = self._clustering.structure(graph=network.graph)
+            self.backbone = build_static_backbone(
+                self.structure, policy, index=self.coverage_index
+            )
+        else:
+            self.structure = lowest_id_clustering(network.graph)
+            self.backbone = build_static_backbone(self.structure, policy)
         self.history: List[MaintenanceReport] = []
+
+    def _rederive(self) -> None:
+        """Recompute structure and backbone for the current network."""
+        if self._clustering is None:
+            self.structure = lowest_id_clustering(self.network.graph)
+            self.backbone = build_static_backbone(self.structure, self.policy)
+            return
+        assert self.coverage_index is not None
+        old_edges = set(self._clustering.graph.edges())
+        new_edges = set(self.network.graph.edges())
+        role_changed: set = set()
+        for u, v in old_edges - new_edges:
+            role_changed |= self._clustering.remove_edge(u, v).role_changes
+        for u, v in new_edges - old_edges:
+            role_changed |= self._clustering.add_edge(u, v).role_changes
+        # Deferring role invalidation to after the whole batch is safe: a
+        # head whose ball shrank away from a changed node in the meantime
+        # was dirtied by the shrinking edge event itself.
+        self.coverage_index.invalidate_roles(role_changed)
+        self.structure = self._clustering.structure(graph=self.network.graph)
+        self.backbone = build_static_backbone(
+            self.structure, self.policy, index=self.coverage_index
+        )
 
     def step(self, dt: float = 1.0) -> MaintenanceReport:
         """Advance the session by ``dt`` and rebuild all structures.
@@ -95,8 +144,7 @@ class MobilitySession:
         moved = self.mobility.step(positions, dt)
         self.network = old_network.moved(moved, order=self._ids)
         self.time += dt
-        self.structure = lowest_id_clustering(self.network.graph)
-        self.backbone = build_static_backbone(self.structure, self.policy)
+        self._rederive()
         old_edges = set(old_network.graph.edges())
         new_edges = set(self.network.graph.edges())
         report = MaintenanceReport(

@@ -12,9 +12,11 @@ class Simulator:
     """Deterministic discrete-event simulator.
 
     Args:
-        max_events: Safety valve — a run processing more events than this
-            raises, catching accidental infinite message loops in protocol
-            code (the paper's protocols are all O(n) messages).
+        max_events: Safety valve — a single :meth:`run` call is allowed at
+            most this many events; the guard raises *before* executing the
+            first event past the budget, catching accidental infinite
+            message loops in protocol code (the paper's protocols are all
+            O(n) messages).
     """
 
     def __init__(self, max_events: int = 5_000_000) -> None:
@@ -47,8 +49,18 @@ class Simulator:
     def run(self, until: Optional[float] = None) -> int:
         """Process events (optionally only up to time ``until``).
 
+        The ``max_events`` guard is applied **per call** and **before**
+        executing the offending event: a call never processes more than
+        ``max_events`` events, and the event that would exceed the budget
+        stays queued (previously the guard fired only after executing event
+        ``max_events + 1``, and counted events from all previous calls).
+
         Returns:
             Number of events processed by this call.
+
+        Raises:
+            SimulationError: when this call would process more than
+                ``max_events`` events.
         """
         start = self._processed
         while self._queue:
@@ -56,14 +68,15 @@ class Simulator:
             assert next_time is not None
             if until is not None and next_time > until:
                 break
+            if self._processed - start >= self.max_events:
+                raise SimulationError(
+                    f"exceeded {self.max_events} events in one run — "
+                    f"runaway protocol?"
+                )
             event = self._queue.pop()
             self._now = event.time
             event.action()
             self._processed += 1
-            if self._processed > self.max_events:
-                raise SimulationError(
-                    f"exceeded {self.max_events} events — runaway protocol?"
-                )
         if until is not None and self._now < until:
             self._now = until
         return self._processed - start

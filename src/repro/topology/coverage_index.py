@@ -1,0 +1,187 @@
+"""Generation-keyed cache of per-clusterhead coverage sets and selections.
+
+A clusterhead ``u``'s coverage set (and the gateway selection derived from
+it) depends on two inputs only:
+
+* the topology read by coverage construction — only *edges incident to
+  nodes within 2 hops* of ``u`` (distance-3 content is discovered through
+  depth-2 expansions), covered by the owning
+  :class:`~repro.topology.view.TopologyView`'s radius-2 per-node epoch: any
+  edge event that can change those reads dirties a 2-hop ball containing
+  ``u`` itself, so ``view.epoch(u, radius=2)`` moves;
+* the roles / head assignments of nodes within 3 hops of ``u`` — the view
+  knows nothing about clustering, so the owner reports those via
+  :meth:`CoverageIndex.invalidate_roles` (pass the nodes whose role or
+  ``head_of`` changed, e.g. ``flipped | reassigned`` from a
+  :class:`~repro.maintenance.incremental.RepairSummary`); the index dirties
+  every head within 3 hops of a changed node.
+
+With both signals wired up, :meth:`coverage` / :meth:`selection` are
+guaranteed to equal a fresh recomputation (property-tested in
+``tests/test_topology_coverage_index.py``) while mobility workloads stop
+rebuilding the heads outside the churn region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, Optional
+
+from repro.topology.view import TopologyView
+from repro.types import CoveragePolicy, NodeId
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid layer cycles
+    from repro.backbone.gateway_selection import GatewaySelection
+    from repro.cluster.state import ClusterStructure
+    from repro.coverage.entries import CoverageSet
+
+
+@dataclass
+class _Entry:
+    """One head's cached artefacts plus the epochs they were computed at."""
+
+    coverage: "CoverageSet"
+    view_generation: int
+    role_clock: int
+    selection: Optional["GatewaySelection"] = field(default=None)
+
+
+class CoverageIndex:
+    """Cache coverage sets / gateway selections keyed on view generations.
+
+    Args:
+        view: The topology view the cached artefacts are derived from.  The
+            :class:`~repro.cluster.state.ClusterStructure` passed to the
+            query methods must describe this same topology (an equal-content
+            graph is fine — e.g. a snapshot copy).
+        policy: Coverage definition served by this index.
+    """
+
+    def __init__(
+        self,
+        view: TopologyView,
+        policy: CoveragePolicy = CoveragePolicy.TWO_FIVE_HOP,
+    ) -> None:
+        self._view = view
+        self._policy = policy
+        self._entries: Dict[NodeId, _Entry] = {}
+        self._role_epoch: Dict[NodeId, int] = {}
+        self._role_clock = 0
+        #: Cache hits / misses (benchmark telemetry).
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def view(self) -> TopologyView:
+        """The owning topology view."""
+        return self._view
+
+    @property
+    def policy(self) -> CoveragePolicy:
+        """The coverage definition this index serves."""
+        return self._policy
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate_roles(self, changed: Iterable[NodeId]) -> None:
+        """Report nodes whose role or head assignment changed.
+
+        Every head within :data:`~repro.topology.view.INVALIDATION_RADIUS`
+        hops of a changed node has its cached artefacts dirtied (coverage
+        sets read roles and ``head_of`` of nodes up to 3 hops out, and a
+        head lies within 3 hops of every node it reads).
+        """
+        changed = tuple(changed)
+        if not changed:
+            return
+        self._role_clock += 1
+        clock = self._role_clock
+        for x in self._view.ball(changed):
+            self._role_epoch[x] = clock
+
+    def invalidate_all(self) -> None:
+        """Drop every cached coverage set and selection."""
+        self._entries.clear()
+        self._role_epoch.clear()
+
+    def _fresh(self, head: NodeId) -> Optional[_Entry]:
+        entry = self._entries.get(head)
+        if entry is None:
+            return None
+        # Radius-2 topology signal: coverage construction reads only edges
+        # incident to nodes within 2 hops of the head (distance-3 content is
+        # reached through depth-2 expansions), so edge events 3+ hops away
+        # cannot stale the entry.  Role reads do extend 3 hops out; those
+        # arrive through the radius-3 role clock below.
+        if entry.view_generation < self._view.epoch(head, radius=2):
+            return None
+        if entry.role_clock < self._role_epoch.get(head, 0):
+            return None
+        return entry
+
+    # -- queries -----------------------------------------------------------
+
+    def coverage(self, structure: "ClusterStructure",
+                 head: NodeId) -> "CoverageSet":
+        """The (cached) coverage set of ``head`` under the index policy."""
+        entry = self._fresh(head)
+        if entry is not None:
+            self.hits += 1
+            return entry.coverage
+        self.misses += 1
+        # Local import: repro.coverage sits above repro.topology in the
+        # layer order (its modules import the view), so importing it at
+        # module scope would be cyclic.
+        from repro.coverage.policy import compute_coverage_set
+
+        cov = compute_coverage_set(
+            structure, head, self._policy, view=self._view
+        )
+        self._entries[head] = _Entry(
+            coverage=cov,
+            view_generation=self._view.generation,
+            role_clock=self._role_clock,
+        )
+        return cov
+
+    def selection(self, structure: "ClusterStructure",
+                  head: NodeId) -> "GatewaySelection":
+        """The (cached) full-coverage gateway selection of ``head``.
+
+        The selection is a pure function of the coverage set, so it shares
+        the coverage entry's validity.
+        """
+        entry = self._fresh(head)
+        if entry is not None and entry.selection is not None:
+            self.hits += 1
+            return entry.selection
+        cov = self.coverage(structure, head)
+        entry = self._entries[head]
+        if entry.selection is None:
+            from repro.backbone.gateway_selection import select_gateways
+
+            entry.selection = select_gateways(cov)
+        return entry.selection
+
+    def all_coverage_sets(
+        self, structure: "ClusterStructure"
+    ) -> Dict[NodeId, "CoverageSet"]:
+        """Coverage sets for every clusterhead of ``structure``."""
+        return {
+            h: self.coverage(structure, h) for h in structure.sorted_heads()
+        }
+
+    def all_selections(
+        self, structure: "ClusterStructure"
+    ) -> Dict[NodeId, "GatewaySelection"]:
+        """Gateway selections for every clusterhead of ``structure``."""
+        return {
+            h: self.selection(structure, h) for h in structure.sorted_heads()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CoverageIndex(policy={self._policy.label}, "
+            f"cached={len(self._entries)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -5,18 +5,24 @@ in each trial (a paired design): differences between curves then come from
 the algorithms, not from sampling luck, and the paper's stopping rule is
 applied to every metric — the point is done when *all* metrics' confidence
 intervals are tight.
+
+Trials can run concurrently (``parallel=``): each trial draws from its own
+child generator spawned deterministically from the root stream, so trial
+``i`` sees the same randomness regardless of worker count or scheduling —
+the paired design and reproducibility survive parallel execution.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping
+from typing import Callable, Dict, List, Mapping
 
 import numpy as np
 
 from repro.errors import SampleBudgetExceededError
 from repro.metrics.confidence import ConfidenceInterval, SequentialEstimator
-from repro.rng import RngLike, ensure_rng
+from repro.rng import RngLike, ensure_rng, spawn
 
 #: A trial function: draws one sample with the given generator and returns
 #: one value per metric label.
@@ -48,6 +54,7 @@ def paired_trials(
     max_samples: int = 4000,
     rng: RngLike = None,
     strict: bool = False,
+    parallel: int = 1,
 ) -> TrialOutcome:
     """Run paired trials until the stopping rule holds for every metric.
 
@@ -62,16 +69,26 @@ def paired_trials(
             :class:`~repro.errors.SampleBudgetExceededError` when the budget
             runs out; otherwise return the best-effort estimates with
             ``converged=False``.
+        parallel: Worker count for concurrent trial execution (via
+            ``concurrent.futures``).  With ``parallel > 1`` every trial
+            gets its own child generator spawned from ``rng`` (see
+            :func:`repro.rng.spawn`), results are folded into the
+            estimators in trial order, and the stopping rule is checked at
+            batch boundaries — so the outcome is deterministic for a given
+            seed and independent of scheduling, though the trial streams
+            (and hence the exact estimates) differ from the serial path,
+            which threads one generator through all trials.  ``trial_fn``
+            must be safe to call concurrently.
 
     Returns:
         The :class:`TrialOutcome`.
     """
+    if parallel < 1:
+        raise ValueError(f"parallel must be >= 1, got {parallel}")
     generator = ensure_rng(rng)
     estimators: Dict[str, SequentialEstimator] = {}
-    trials = 0
-    while True:
-        values = trial_fn(generator)
-        trials += 1
+
+    def fold(values: Mapping[str, float]) -> None:
         for label, value in values.items():
             est = estimators.get(label)
             if est is None:
@@ -82,12 +99,40 @@ def paired_trials(
                     max_samples=max_samples,
                 )
             est.add(float(value))
-        if trials >= min_samples and all(e.converged() for e in estimators.values()):
-            converged = True
-            break
-        if trials >= max_samples:
+
+    trials = 0
+    if parallel == 1:
+        while True:
+            fold(trial_fn(generator))
+            trials += 1
+            if trials >= min_samples and all(
+                e.converged() for e in estimators.values()
+            ):
+                converged = True
+                break
+            if trials >= max_samples:
+                converged = False
+                break
+    else:
+        with ThreadPoolExecutor(max_workers=parallel) as pool:
             converged = False
-            break
+            while True:
+                batch = min(parallel, max_samples - trials)
+                streams = spawn(generator, batch)
+                results: List[Mapping[str, float]] = list(
+                    pool.map(trial_fn, streams)
+                )
+                for values in results:  # trial order: determinism
+                    fold(values)
+                trials += batch
+                if trials >= min_samples and all(
+                    e.converged() for e in estimators.values()
+                ):
+                    converged = True
+                    break
+                if trials >= max_samples:
+                    converged = False
+                    break
     if strict and not converged:
         worst = max(
             estimators.values(), key=lambda e: e.interval().relative_half_width

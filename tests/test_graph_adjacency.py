@@ -36,6 +36,20 @@ class TestConstruction:
 
 
 class TestMutation:
+    def test_add_edge_self_loop_rejected(self):
+        # Regression for the docstring's ValueError claim: add_edge defers
+        # to ordered_edge, which rejects u == v.
+        g = Graph(nodes=[3])
+        with pytest.raises(ValueError, match="self-loop"):
+            g.add_edge(3, 3)
+
+    def test_failed_self_loop_leaves_graph_unchanged(self):
+        g = Graph(edges=[(0, 1)])
+        with pytest.raises(ValueError):
+            g.add_edge(7, 7)
+        assert g.nodes() == [0, 1]  # no node 7 materialised
+        assert g.edges() == [(0, 1)]
+
     def test_add_remove_edge(self, triangle):
         triangle.remove_edge(0, 1)
         assert not triangle.has_edge(0, 1)

@@ -99,6 +99,35 @@ class TestSimulator:
         with pytest.raises(SimulationError, match="runaway"):
             sim.run_to_quiescence()
 
+    def test_runaway_guard_checks_before_executing(self):
+        # The guard must fire *before* event max_events + 1 runs: exactly
+        # max_events events execute, and the offending event stays queued.
+        sim = Simulator(max_events=10)
+        hits = []
+
+        def loop():
+            hits.append(sim.now)
+            sim.schedule(1.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run_to_quiescence()
+        assert len(hits) == 10
+        assert sim.events_processed == 10
+        assert sim.pending == 1
+
+    def test_guard_counts_per_run_not_cumulatively(self):
+        # Two consecutive runs, each under the budget, must not trip the
+        # guard even though their combined event count exceeds it.
+        sim = Simulator(max_events=5)
+        for t in range(4):
+            sim.schedule(float(t), lambda: None)
+        assert sim.run() == 4
+        for t in range(4):
+            sim.schedule(float(t), lambda: None)
+        assert sim.run() == 4
+        assert sim.events_processed == 8
+
     def test_events_processed_counter(self):
         sim = Simulator()
         for t in range(5):

@@ -1,0 +1,189 @@
+"""Tests for :class:`repro.topology.coverage_index.CoverageIndex`.
+
+The contract under test: with both invalidation signals wired (edge events
+through the shared :class:`TopologyView`, role changes through
+``invalidate_roles``), every cached coverage set and gateway selection
+equals a fresh uncached recomputation after every event — for ≥ 200
+Hypothesis-generated event interleavings.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backbone.gateway_selection import select_gateways
+from repro.backbone.static_backbone import build_static_backbone
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.coverage.three_hop import three_hop_coverage
+from repro.coverage.two_five_hop import two_five_hop_coverage
+from repro.geometry.mobility import RandomWalk
+from repro.graph.adjacency import Graph
+from repro.graph.generators import random_geometric_network
+from repro.maintenance.incremental import IncrementalLowestIdClustering
+from repro.maintenance.session import MobilitySession
+from repro.topology.coverage_index import CoverageIndex
+from repro.types import CoveragePolicy
+
+from tests.strategies import connected_graphs
+
+FRESH = {
+    CoveragePolicy.TWO_FIVE_HOP: two_five_hop_coverage,
+    CoveragePolicy.THREE_HOP: three_hop_coverage,
+}
+
+
+def assert_index_matches_scratch(index: CoverageIndex,
+                                 inc: IncrementalLowestIdClustering) -> None:
+    """Cached coverage + selection must equal an uncached recomputation."""
+    structure = inc.structure()
+    fresh_structure = lowest_id_clustering(inc.graph.copy())
+    assert structure.head_of == fresh_structure.head_of
+    compute = FRESH[index.policy]
+    for head in fresh_structure.sorted_heads():
+        cached = index.coverage(structure, head)
+        fresh = compute(fresh_structure, head)
+        assert cached == fresh, f"stale coverage for head {head}"
+        assert index.selection(structure, head) == select_gateways(fresh)
+
+
+class TestBasics:
+    def test_coverage_hits_cache_on_repeat(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+        inc = IncrementalLowestIdClustering(graph)
+        index = CoverageIndex(inc.view)
+        structure = inc.structure()
+        head = structure.sorted_heads()[0]
+        index.coverage(structure, head)
+        misses = index.misses
+        index.coverage(structure, head)
+        assert index.misses == misses
+        assert index.hits >= 1
+
+    def test_invalidate_all_forces_recompute(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        inc = IncrementalLowestIdClustering(graph)
+        index = CoverageIndex(inc.view)
+        structure = inc.structure()
+        index.all_coverage_sets(structure)
+        misses = index.misses
+        index.invalidate_all()
+        index.all_coverage_sets(structure)
+        assert index.misses > misses
+
+    def test_policies_do_not_share_entries(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        inc = IncrementalLowestIdClustering(graph)
+        i25 = CoverageIndex(inc.view, CoveragePolicy.TWO_FIVE_HOP)
+        i3 = CoverageIndex(inc.view, CoveragePolicy.THREE_HOP)
+        structure = inc.structure()
+        for head in structure.sorted_heads():
+            assert i25.coverage(structure, head).policy is \
+                CoveragePolicy.TWO_FIVE_HOP
+            assert i3.coverage(structure, head).policy is \
+                CoveragePolicy.THREE_HOP
+
+    def test_backbone_via_index_equals_scratch(self):
+        net = random_geometric_network(40, 6.0, rng=7)
+        inc = IncrementalLowestIdClustering(net.graph)
+        index = CoverageIndex(inc.view)
+        structure = inc.structure()
+        via_index = build_static_backbone(structure, index=index)
+        scratch = build_static_backbone(lowest_id_clustering(net.graph))
+        assert via_index.nodes == scratch.nodes
+        assert via_index.gateways == scratch.gateways
+        assert via_index.selections == scratch.selections
+
+    def test_index_requires_matching_policy(self):
+        graph = Graph(edges=[(0, 1)])
+        inc = IncrementalLowestIdClustering(graph)
+        index = CoverageIndex(inc.view, CoveragePolicy.TWO_FIVE_HOP)
+        with pytest.raises(ValueError):
+            build_static_backbone(
+                inc.structure(), CoveragePolicy.THREE_HOP, index=index
+            )
+
+    def test_index_excludes_explicit_coverage_sets(self):
+        graph = Graph(edges=[(0, 1)])
+        inc = IncrementalLowestIdClustering(graph)
+        index = CoverageIndex(inc.view)
+        structure = inc.structure()
+        sets = index.all_coverage_sets(structure)
+        with pytest.raises(ValueError):
+            build_static_backbone(
+                structure, coverage_sets=sets, index=index
+            )
+
+
+class TestEquivalenceProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        graph=connected_graphs(min_nodes=3, max_nodes=12),
+        policy=st.sampled_from(list(FRESH)),
+        data=st.data(),
+    )
+    def test_index_matches_fresh_after_each_event(self, graph, policy, data):
+        """≥200 interleavings: cached results stay equal to scratch."""
+        inc = IncrementalLowestIdClustering(graph)
+        index = CoverageIndex(inc.view, policy)
+        assert_index_matches_scratch(index, inc)  # warm the cache
+        nodes = inc.graph.nodes()
+        n_events = data.draw(st.integers(1, 6), label="n_events")
+        for i in range(n_events):
+            edges = inc.graph.edges()
+            non_edges = [
+                (u, v)
+                for ui, u in enumerate(nodes)
+                for v in nodes[ui + 1:]
+                if not inc.graph.has_edge(u, v)
+            ]
+            # Removals may disconnect the graph; lowest-ID clustering is
+            # well defined there, so any event interleaving is fair game.
+            choices = []
+            if edges:
+                choices.append("remove")
+            if non_edges:
+                choices.append("add")
+            op = data.draw(st.sampled_from(choices), label=f"op{i}")
+            if op == "remove":
+                u, v = edges[data.draw(
+                    st.integers(0, len(edges) - 1), label=f"edge{i}")]
+                summary = inc.remove_edge(u, v)
+            else:
+                u, v = non_edges[data.draw(
+                    st.integers(0, len(non_edges) - 1), label=f"edge{i}")]
+                summary = inc.add_edge(u, v)
+            index.invalidate_roles(summary.role_changes)
+            assert_index_matches_scratch(index, inc)
+
+
+class TestIncrementalSession:
+    def test_incremental_session_equals_scratch_session(self):
+        """Tick for tick, the incremental path reproduces scratch results."""
+        ticks = 6
+        histories = []
+        for incremental in (False, True):
+            net = random_geometric_network(30, 6.0, rng=11)
+            session = MobilitySession(
+                net,
+                RandomWalk(speed=20.0, rng=3),
+                incremental=incremental,
+            )
+            histories.append(session.run(ticks))
+        for scratch, inc in zip(*histories):
+            assert scratch.structure.head_of == inc.structure.head_of
+            assert scratch.backbone.nodes == inc.backbone.nodes
+            assert scratch.backbone.selections == inc.backbone.selections
+            assert scratch.link_changes == inc.link_changes
+            assert scratch.cluster_churn == inc.cluster_churn
+            assert scratch.backbone_churn == inc.backbone_churn
+
+    def test_incremental_session_reuses_cache(self):
+        net = random_geometric_network(30, 6.0, rng=5)
+        session = MobilitySession(
+            net, RandomWalk(speed=5.0, rng=9), incremental=True
+        )
+        session.run(4)
+        assert session.coverage_index is not None
+        assert session.coverage_index.hits > 0

@@ -1,0 +1,211 @@
+"""Tests for :mod:`repro.topology.view`.
+
+The load-bearing property: after ANY interleaving of edge insertions and
+removals, every memoized query of a :class:`TopologyView` equals a fresh
+uncached computation on the underlying graph.  Hypothesis drives ≥ 200
+generated interleavings (the acceptance bar for the cache refactor).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NodeNotFoundError
+from repro.graph.adjacency import Graph
+from repro.graph.traversal import bfs_distances
+from repro.topology.view import INVALIDATION_RADIUS, TopologyView, as_view
+
+from tests.strategies import connected_graphs
+
+
+def line_graph(n: int) -> Graph:
+    """A path 0-1-...-(n-1): distances are easy to reason about."""
+    return Graph(edges=[(i, i + 1) for i in range(n - 1)])
+
+
+def assert_view_fresh(view: TopologyView, graph: Graph) -> None:
+    """Every cached query must equal its from-scratch counterpart."""
+    nodes = graph.nodes()
+    for v in nodes:
+        assert view.neighbours(v) == graph.neighbours(v)
+        assert view.sorted_neighbours(v) == tuple(sorted(graph.neighbours_view(v)))
+        assert view.closed_neighbourhood(v) == frozenset(graph.closed_neighbourhood(v))
+        dist3 = bfs_distances(graph, v, max_depth=3)
+        assert dict(view.distances_within(v, 3)) == dist3
+        dist2 = bfs_distances(graph, v, max_depth=2)
+        assert view.two_hop(v) == frozenset(dist2)
+        assert view.two_hop(v, closed=False) == frozenset(
+            x for x, d in dist2.items() if d == 2
+        )
+        rings = view.frontiers(v, 3)
+        assert len(rings) == 4
+        for k, ring in enumerate(rings):
+            assert ring == frozenset(x for x, d in dist3.items() if d == k)
+    # A deterministic sample of pairs exercises the pair cache.
+    for u in nodes[::2]:
+        for v in nodes[1::3]:
+            if u != v:
+                expect = frozenset(
+                    graph.neighbours_view(u) & graph.neighbours_view(v)
+                )
+                assert view.common_neighbours(u, v) == expect
+
+
+class TestQueries:
+    def test_matches_graph_on_static_topology(self):
+        graph = line_graph(8)
+        graph.add_edge(0, 4)
+        view = TopologyView(graph)
+        assert_view_fresh(view, graph)
+
+    def test_cache_hits_accumulate(self):
+        view = TopologyView(line_graph(5))
+        view.neighbours(2)
+        misses = view.misses
+        view.neighbours(2)
+        view.neighbours(2)
+        assert view.misses == misses
+        assert view.hits >= 2
+
+    def test_depth_bound_enforced(self):
+        view = TopologyView(line_graph(5))
+        with pytest.raises(ValueError):
+            view.distances_within(0, INVALIDATION_RADIUS + 1)
+        with pytest.raises(ValueError):
+            view.distances_within(0, -1)
+
+    def test_unknown_node_raises(self):
+        view = TopologyView(line_graph(3))
+        with pytest.raises(NodeNotFoundError):
+            view.neighbours(99)
+        with pytest.raises(NodeNotFoundError):
+            view.distances_within(99, 2)
+
+    def test_filtered_distances(self):
+        view = TopologyView(line_graph(6))
+        assert view.filtered_distances(0, {2, 3, 5}) == {2: 2, 3: 3}
+
+    def test_ball_contains_seeds_and_radius(self):
+        view = TopologyView(line_graph(10))
+        ball = view.ball([4])
+        assert ball == frozenset({1, 2, 3, 4, 5, 6, 7})
+        assert view.ball([0], radius=1) == frozenset({0, 1})
+        # A vanished node still contributes itself.
+        assert 99 in view.ball([99])
+
+
+class TestInvalidation:
+    def test_generation_bumps_per_event(self):
+        view = TopologyView(line_graph(6))
+        g0 = view.generation
+        view.remove_edge(0, 1)
+        view.add_edge(0, 1)
+        assert view.generation == g0 + 2
+
+    def test_epoch_moves_only_inside_the_ball(self):
+        view = TopologyView(line_graph(12))
+        for v in view.graph.nodes():
+            view.distances_within(v, 3)
+        view.remove_edge(0, 1)
+        # Within 3 hops of the endpoints: dirtied.
+        for v in (0, 1, 2, 3, 4):
+            assert view.epoch(v) == view.generation
+        # Far end of the line: untouched.
+        for v in (8, 9, 10, 11):
+            assert view.epoch(v) == 0
+
+    def test_far_cache_entries_survive(self):
+        view = TopologyView(line_graph(12))
+        for v in view.graph.nodes():
+            view.distances_within(v, 3)
+        misses = view.misses
+        view.remove_edge(0, 1)
+        view.distances_within(11, 3)  # outside the ball: still cached
+        assert view.misses == misses
+        view.distances_within(2, 3)  # inside the ball: recomputed
+        assert view.misses == misses + 1
+
+    def test_notify_edge_after_external_mutation(self):
+        graph = line_graph(6)
+        view = TopologyView(graph)
+        assert_view_fresh(view, graph)
+        graph.add_edge(0, 5)
+        view.notify_edge(0, 5)
+        assert_view_fresh(view, graph)
+
+    def test_invalidate_all(self):
+        graph = line_graph(6)
+        view = TopologyView(graph)
+        assert_view_fresh(view, graph)
+        graph.add_edge(0, 3)
+        graph.remove_edge(3, 4)
+        view.invalidate_all()
+        assert_view_fresh(view, graph)
+
+    def test_mutation_through_view_updates_graph(self):
+        graph = line_graph(4)
+        view = TopologyView(graph)
+        view.add_edge(0, 3)
+        assert graph.has_edge(0, 3)
+        view.remove_edge(0, 3)
+        assert not graph.has_edge(0, 3)
+
+
+class TestAdapter:
+    def test_as_view_wraps_graph(self):
+        graph = line_graph(4)
+        view = as_view(graph)
+        assert view.graph is graph
+
+    def test_as_view_passthrough(self):
+        view = TopologyView(line_graph(4))
+        assert as_view(view) is view
+
+    def test_as_view_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_view({0: [1]})
+
+
+class TestEquivalenceProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(graph=connected_graphs(min_nodes=3, max_nodes=14), data=st.data())
+    def test_any_event_interleaving_keeps_view_fresh(self, graph, data):
+        """≥200 interleavings of insert/remove leave every query exact."""
+        view = TopologyView(graph)
+        assert_view_fresh(view, graph)  # warm every cache first
+        n_events = data.draw(st.integers(1, 8), label="n_events")
+        nodes = graph.nodes()
+        for i in range(n_events):
+            edges = graph.edges()
+            non_edges = [
+                (u, v)
+                for ui, u in enumerate(nodes)
+                for v in nodes[ui + 1:]
+                if not graph.has_edge(u, v)
+            ]
+            choices = []
+            if edges:
+                choices.append("remove")
+            if non_edges:
+                choices.append("add")
+            op = data.draw(st.sampled_from(choices), label=f"op{i}")
+            external = data.draw(st.booleans(), label=f"external{i}")
+            if op == "remove":
+                u, v = edges[data.draw(
+                    st.integers(0, len(edges) - 1), label=f"edge{i}")]
+                if external:
+                    graph.remove_edge(u, v)
+                    view.notify_edge(u, v)
+                else:
+                    view.remove_edge(u, v)
+            else:
+                u, v = non_edges[data.draw(
+                    st.integers(0, len(non_edges) - 1), label=f"edge{i}")]
+                if external:
+                    graph.add_edge(u, v)
+                    view.notify_edge(u, v)
+                else:
+                    view.add_edge(u, v)
+            assert_view_fresh(view, graph)
