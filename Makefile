@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper bench-topology figures examples lint clean
+.PHONY: install test bench bench-paper bench-topology bench-faults figures examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -21,6 +21,9 @@ bench-paper:
 
 bench-topology:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_topology_cache.py
+
+bench-faults:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_fault_sweep.py
 
 figures:
 	$(PYTHON) -m repro.cli experiment fig6 --ci

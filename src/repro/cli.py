@@ -11,6 +11,7 @@
 * ``ratio``      — the empirical MCDS approximation-ratio study;
 * ``svg``        — export the network/backbone as an SVG figure;
 * ``robustness`` — delivery ratios under a lossy data plane;
+* ``faults``     — delivery under fault schedules (crashes, cuts, windows);
 * ``mobility``   — backbone churn under node movement;
 * ``route``      — a unicast route over the backbone.
 
@@ -244,6 +245,57 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.errors import ConfigurationError
+    from repro.faults.schedule import FaultSchedule
+    from repro.workload.faultsweep import (
+        PROTOCOLS, run_fault_scenario, run_fault_sweep,
+    )
+
+    header = " ".join(f"{p:>12}" for p in PROTOCOLS)
+    if args.schedule:
+        try:
+            spec = _json.loads(open(args.schedule).read())
+        except _json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{args.schedule} is not valid JSON: {exc}"
+            ) from None
+        schedule = FaultSchedule.from_spec(spec)
+        net = _obtain_network(args)
+        source = (args.source if args.source is not None
+                  else min(net.graph.nodes()))
+        metrics = run_fault_scenario(
+            net.graph, source, schedule,
+            loss=args.loss, rng=args.seed,
+        )
+        print(f"schedule {args.schedule}: {len(schedule)} events, "
+              f"horizon {schedule.horizon:g}, loss {args.loss:g}")
+        print(f"{'':>10} | {header}")
+        for axis in ("delivery", "overhead", "latency"):
+            row = " ".join(f"{metrics[f'{axis}/{p}']:>12.3f}"
+                           for p in PROTOCOLS)
+            print(f"{axis:>10} | {row}")
+        return 0
+
+    points = run_fault_sweep(
+        losses=tuple(args.losses), n=args.nodes,
+        average_degree=args.degree, trials=args.trials,
+        crash_fraction=args.crash_fraction, rng=args.seed,
+    )
+    print(f"{'loss':>6} | {header}")
+    for p in points:
+        row = " ".join(f"{p.delivery[proto]:>12.3f}" for proto in PROTOCOLS)
+        print(f"{p.loss_probability:>6g} | {row}")
+    if args.json:
+        from repro.io.results import fault_sweep_to_json
+
+        n = fault_sweep_to_json(points, args.json)
+        print(f"wrote {n} points to {args.json}")
+    return 0
+
+
 def _cmd_mobility(args: argparse.Namespace) -> int:
     from repro.geometry.mobility import RandomWalk, RandomWaypoint
     from repro.maintenance.session import MobilitySession
@@ -374,6 +426,26 @@ def build_parser() -> argparse.ArgumentParser:
                    default=[0.0, 0.1, 0.2, 0.3])
     p.add_argument("--seed", type=int, default=DEFAULT_SEED)
     p.set_defaults(func=_cmd_robustness)
+
+    p = sub.add_parser(
+        "faults",
+        help="delivery under fault schedules (crashes, cuts, loss windows)",
+    )
+    _add_network_args(p)
+    p.add_argument("--schedule", metavar="FILE",
+                   help="run one fixed JSON fault schedule instead of a "
+                        "random sweep")
+    p.add_argument("--source", type=int, default=None,
+                   help="source node id for --schedule (default smallest)")
+    p.add_argument("--loss", type=float, default=0.0,
+                   help="channel loss for --schedule runs")
+    p.add_argument("--losses", type=float, nargs="+",
+                   default=[0.0, 0.1, 0.2, 0.3],
+                   help="loss probabilities of the sweep")
+    p.add_argument("--trials", type=int, default=8)
+    p.add_argument("--crash-fraction", type=float, default=0.1)
+    p.add_argument("--json", help="also write sweep points to this JSON file")
+    p.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser("mobility", help="backbone churn under movement")
     _add_network_args(p)

@@ -7,7 +7,10 @@ import json
 from pathlib import Path
 from typing import Iterable, List, Union
 
+from repro.errors import ConfigurationError
 from repro.metrics.series import SeriesTable
+from repro.workload.faultsweep import FaultSweepPoint
+from repro.workload.robustness import RobustnessPoint
 
 PathLike = Union[str, Path]
 
@@ -42,6 +45,110 @@ def tables_to_json(tables: Iterable[SeriesTable], path: PathLike) -> int:
         records.extend(table.to_records())
     Path(path).write_text(json.dumps(records, indent=2))
     return len(records)
+
+
+ROBUSTNESS_FORMAT = "repro-robustness-sweep"
+FAULT_SWEEP_FORMAT = "repro-fault-sweep"
+_SWEEP_VERSION = 1
+
+
+def _load_sweep_document(path: PathLike, fmt: str) -> List[dict]:
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict) or doc.get("format") != fmt:
+        raise ConfigurationError(f"{path} is not a {fmt} document")
+    if doc.get("version") != _SWEEP_VERSION:
+        raise ConfigurationError(
+            f"unsupported {fmt} version {doc.get('version')!r}"
+        )
+    points = doc.get("points")
+    if not isinstance(points, list):
+        raise ConfigurationError(f"{path}: malformed points array")
+    return points
+
+
+def robustness_to_json(points: Iterable[RobustnessPoint],
+                       path: PathLike) -> int:
+    """Save a robustness sweep; inverse of :func:`robustness_from_json`.
+
+    Returns:
+        The number of points written.
+    """
+    records = [
+        {"loss_probability": p.loss_probability,
+         "delivery": dict(p.delivery), "forwards": dict(p.forwards)}
+        for p in points
+    ]
+    Path(path).write_text(json.dumps(
+        {"format": ROBUSTNESS_FORMAT, "version": _SWEEP_VERSION,
+         "points": records},
+        indent=2,
+    ))
+    return len(records)
+
+
+def robustness_from_json(path: PathLike) -> List[RobustnessPoint]:
+    """Load a robustness sweep saved by :func:`robustness_to_json`."""
+    points: List[RobustnessPoint] = []
+    for rec in _load_sweep_document(path, ROBUSTNESS_FORMAT):
+        try:
+            points.append(RobustnessPoint(
+                loss_probability=float(rec["loss_probability"]),
+                delivery={str(k): float(v)
+                          for k, v in rec["delivery"].items()},
+                forwards={str(k): float(v)
+                          for k, v in rec["forwards"].items()},
+            ))
+        except (KeyError, TypeError, ValueError, AttributeError):
+            raise ConfigurationError(
+                f"{path}: malformed robustness point {rec!r}"
+            ) from None
+    return points
+
+
+def fault_sweep_to_json(points: Iterable[FaultSweepPoint],
+                        path: PathLike) -> int:
+    """Save a fault sweep; inverse of :func:`fault_sweep_from_json`.
+
+    Returns:
+        The number of points written.
+    """
+    records = [
+        {"loss_probability": p.loss_probability,
+         "delivery": dict(p.delivery), "overhead": dict(p.overhead),
+         "latency": dict(p.latency), "trials": p.trials}
+        for p in points
+    ]
+    Path(path).write_text(json.dumps(
+        {"format": FAULT_SWEEP_FORMAT, "version": _SWEEP_VERSION,
+         "points": records},
+        indent=2,
+    ))
+    return len(records)
+
+
+def fault_sweep_from_json(path: PathLike) -> List[FaultSweepPoint]:
+    """Load a fault sweep saved by :func:`fault_sweep_to_json`."""
+    points: List[FaultSweepPoint] = []
+    for rec in _load_sweep_document(path, FAULT_SWEEP_FORMAT):
+        try:
+            points.append(FaultSweepPoint(
+                loss_probability=float(rec["loss_probability"]),
+                delivery={str(k): float(v)
+                          for k, v in rec["delivery"].items()},
+                overhead={str(k): float(v)
+                          for k, v in rec["overhead"].items()},
+                latency={str(k): float(v)
+                         for k, v in rec["latency"].items()},
+                trials=int(rec["trials"]),
+            ))
+        except (KeyError, TypeError, ValueError, AttributeError):
+            raise ConfigurationError(
+                f"{path}: malformed fault sweep point {rec!r}"
+            ) from None
+    return points
 
 
 def tables_to_markdown(tables: Iterable[SeriesTable],

@@ -14,7 +14,7 @@ tie-breaking (see :mod:`repro.sim.events`).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.graph.adjacency import Graph
@@ -26,6 +26,42 @@ from repro.types import NodeId
 
 #: A receiver callback: (receiver, sender, message) -> None.
 DeliveryHandler = Callable[[NodeId, NodeId, Message], None]
+
+
+class FaultHook:
+    """Duck-typed hook consulted by the medium on every transmission.
+
+    A hook models faults *above* the i.i.d. loss knob without mutating the
+    topology.  :meth:`can_transmit` gates the sender at transmit time (a
+    crashed radio emits nothing — the transmission is not even traced);
+    :meth:`copies` decides, per receiver, how many copies of the packet
+    cross the link (``0`` for a cut link or a loss-window drop, ``2`` for a
+    duplication fault, ``1`` normally), sampled at transmit time because
+    that is when the signal crosses the channel; :meth:`can_deliver` gates
+    the receiver at **delivery** time — a node that crashes while a packet
+    is in flight hears nothing, even though the packet was validly sent.
+    :class:`repro.faults.injector.FaultInjector` is the implementation;
+    this base class is the identity hook.
+    """
+
+    def can_transmit(self, sender: NodeId) -> bool:
+        """Whether ``sender``'s radio is currently able to transmit."""
+        return True
+
+    def copies(self, sender: NodeId, receiver: NodeId) -> int:
+        """Number of copies crossing the ``sender -> receiver`` link."""
+        return 1
+
+    def can_deliver(self, receiver: NodeId) -> bool:
+        """Whether ``receiver`` is up at the moment of delivery."""
+        return True
+
+
+def _validate_loss(probability: float) -> None:
+    if not (0.0 <= probability <= 1.0):
+        raise SimulationError(
+            f"loss probability must be in [0, 1], got {probability}"
+        )
 
 
 class WirelessMedium:
@@ -52,10 +88,7 @@ class WirelessMedium:
     ) -> None:
         if latency <= 0:
             raise SimulationError(f"latency must be positive, got {latency}")
-        if not (0.0 <= loss_probability < 1.0):
-            raise SimulationError(
-                f"loss probability must be in [0, 1), got {loss_probability}"
-            )
+        _validate_loss(loss_probability)
         self.sim = sim
         self.graph = graph
         self.latency = latency
@@ -63,6 +96,8 @@ class WirelessMedium:
         self._rng = ensure_rng(rng) if loss_probability > 0.0 else None
         self.trace = trace if trace is not None else TraceRecorder()
         self._receivers: Dict[NodeId, DeliveryHandler] = {}
+        #: Optional fault filter (see :class:`FaultHook`); ``None`` = ideal.
+        self.fault_hook: Optional[FaultHook] = None
 
     def update_graph(self, graph: Graph) -> None:
         """Swap the topology under a running simulation (mobility).
@@ -83,10 +118,7 @@ class WirelessMedium:
         Used by robustness experiments that build structures on an ideal
         channel and then degrade the data plane.
         """
-        if not (0.0 <= probability < 1.0):
-            raise SimulationError(
-                f"loss probability must be in [0, 1), got {probability}"
-            )
+        _validate_loss(probability)
         self.loss_probability = probability
         self._rng = ensure_rng(rng) if probability > 0.0 else None
 
@@ -96,23 +128,54 @@ class WirelessMedium:
             raise SimulationError(f"cannot attach unknown node {node}")
         self._receivers[node] = handler
 
+    def _plan_deliveries(
+        self, sender: NodeId
+    ) -> Iterator[Tuple[NodeId, int]]:
+        """Yield ``(receiver, copies)`` in ascending receiver order.
+
+        Applies the i.i.d. loss draw first (the signal is corrupted at the
+        receiver) and then the fault hook (``copies`` may be 0 for a crashed
+        receiver / cut link, or 2 under a duplication fault).  Draw order is
+        fixed — sorted receivers, loss before fault — so a seeded run is
+        bit-reproducible.
+        """
+        hook = self.fault_hook
+        for receiver in sorted(self.graph.neighbours_view(sender)):
+            if self._rng is not None and \
+                    self._rng.random() < self.loss_probability:
+                continue
+            copies = 1 if hook is None else hook.copies(sender, receiver)
+            if copies > 0:
+                yield receiver, copies
+
     def transmit(self, sender: NodeId, message: Message) -> None:
         """Broadcast ``message`` from ``sender`` to all its neighbours."""
         if sender not in self.graph:
             raise SimulationError(f"unknown sender {sender}")
+        if self.fault_hook is not None and \
+                not self.fault_hook.can_transmit(sender):
+            return  # crashed radio: nothing on the air, nothing traced
         self.trace.record(self.sim.now, sender, message)
-        for receiver in sorted(self.graph.neighbours_view(sender)):
-            if self._rng is not None and self._rng.random() < self.loss_probability:
-                continue
+        for receiver, copies in self._plan_deliveries(sender):
             handler = self._receivers.get(receiver)
             if handler is None:
                 continue  # node exists but runs no protocol — silent sink
-            self.sim.schedule(
-                self.latency,
-                # bind loop variables explicitly
-                lambda h=handler, r=receiver, s=sender, m=message: h(r, s, m),
-                priority=(sender, receiver),
-            )
+            for _ in range(copies):
+                self.sim.schedule(
+                    self.latency,
+                    # bind loop variables explicitly
+                    lambda h=handler, r=receiver, s=sender, m=message:
+                        self._deliver_if_up(h, r, s, m),
+                    priority=(sender, receiver),
+                )
+
+    def _deliver_if_up(self, handler: DeliveryHandler, receiver: NodeId,
+                       sender: NodeId, message: Message) -> None:
+        """Hand the packet over unless the receiver is down *right now*."""
+        if self.fault_hook is not None and \
+                not self.fault_hook.can_deliver(receiver):
+            return
+        handler(receiver, sender, message)
 
 
 class CollisionMedium(WirelessMedium):
@@ -142,33 +205,50 @@ class CollisionMedium(WirelessMedium):
         self.enabled = True
 
     def transmit(self, sender: NodeId, message: Message) -> None:
-        """Broadcast; deliveries that share a (slot, receiver) collide."""
+        """Broadcast; deliveries that share a (slot, receiver) collide.
+
+        Fault semantics differ from the loss knob on purpose: a cut link
+        means *no signal* at that receiver (no arrival is counted), whereas
+        a lossy delivery was physically transmitted and still occupies the
+        slot.  A duplicated packet counts as two arrivals — a multipath
+        echo destroys itself on a collision MAC.  A crashed receiver is
+        handled at delivery time (:meth:`FaultHook.can_deliver`): the
+        signal reaches its antenna but nobody is listening.
+        """
         if not self.enabled:
             super().transmit(sender, message)
             return
         if sender not in self.graph:
             raise SimulationError(f"unknown sender {sender}")
+        hook = self.fault_hook
+        if hook is not None and not hook.can_transmit(sender):
+            return
         self.trace.record(self.sim.now, sender, message)
         arrival = self.sim.now + self.latency
         for receiver in sorted(self.graph.neighbours_view(sender)):
+            lost = self._rng is not None and \
+                self._rng.random() < self.loss_probability
+            copies = 1 if hook is None else hook.copies(sender, receiver)
+            if copies <= 0:
+                continue  # no signal reaches this receiver at all
             key = (arrival, receiver)
-            self._arrivals[key] = self._arrivals.get(key, 0) + 1
-            if self._rng is not None and \
-                    self._rng.random() < self.loss_probability:
+            self._arrivals[key] = self._arrivals.get(key, 0) + copies
+            if lost:
                 continue
             handler = self._receivers.get(receiver)
             if handler is None:
                 continue
-            self.sim.schedule(
-                self.latency,
-                lambda h=handler, r=receiver, s=sender, m=message,
-                       k=key: self._deliver_or_collide(h, r, s, m, k),
-                priority=(sender, receiver),
-            )
+            for _ in range(copies):
+                self.sim.schedule(
+                    self.latency,
+                    lambda h=handler, r=receiver, s=sender, m=message,
+                           k=key: self._deliver_or_collide(h, r, s, m, k),
+                    priority=(sender, receiver),
+                )
 
     def _deliver_or_collide(self, handler: DeliveryHandler, receiver: NodeId,
                             sender: NodeId, message: Message, key: tuple) -> None:
         if self._arrivals.get(key, 0) > 1:
             self.collisions += 1
             return
-        handler(receiver, sender, message)
+        self._deliver_if_up(handler, receiver, sender, message)

@@ -1,0 +1,284 @@
+"""Fault sweeps: delivery / overhead / recovery latency under faults.
+
+The robustness sweep (:mod:`repro.workload.robustness`) varies only the
+i.i.d. loss knob; this driver layers a seed-deterministic
+:class:`~repro.faults.schedule.FaultSchedule` (crashes, link cuts) on top
+and compares the plain backbone broadcasts against their reliable
+(ACK/retransmit + backbone-fallback) variants from
+:mod:`repro.faults.reliable`.
+
+Every trial is paired: all five protocols run over the same sampled
+network, the same fault schedule, and the same channel-loss stream, so the
+curves differ only by protocol.  Per-trial randomness comes exclusively
+from the generator handed to the trial function, which makes the sweep
+bit-deterministic — same seed, same results — and, for ``parallel >= 2``,
+independent of the worker count (trial ``i`` always consumes spawned child
+stream ``i``; see :func:`repro.workload.trials.paired_trials`).
+``parallel=1`` is the serial reference stream and differs from the spawned
+streams by design.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+from repro.backbone.static_backbone import build_static_backbone
+from repro.broadcast.sd_cds import broadcast_sd
+from repro.cluster.lowest_id import lowest_id_clustering
+from repro.faults.injector import FaultInjector
+from repro.faults.reliable import reliable_sd, reliable_si
+from repro.faults.schedule import FaultSchedule, apply_schedule, random_schedule
+from repro.graph.adjacency import Graph
+from repro.graph.generators import random_geometric_network
+from repro.protocols.broadcast import DistributedSIBroadcast
+from repro.rng import RngLike, derive_seed, ensure_rng
+from repro.sim.network import SimNetwork
+from repro.types import NodeId
+from repro.workload.trials import paired_trials
+
+#: Protocol labels in reporting order.
+PROTOCOLS = ("flooding", "si", "sd", "reliable-si", "reliable-sd")
+
+
+@dataclass(frozen=True)
+class FaultSweepPoint:
+    """Mean per-protocol outcomes at one channel-loss probability.
+
+    Attributes:
+        loss_probability: The per-delivery loss of this point (faults from
+            the schedule apply at every point).
+        delivery: Protocol -> mean delivery ratio over *eligible* nodes
+            (nodes reachable from the source once the schedule's final
+            crash set is removed — nobody can deliver to a node with no
+            surviving path).
+        overhead: Protocol -> mean transmissions per node, ACKs included
+            for the reliable variants (the price of the guarantee).
+        latency: Protocol -> mean completion time (last first-reception
+            among eligible nodes; retransmissions push this up, which is
+            the recovery-latency axis).
+        trials: Paired trials behind the means.
+    """
+
+    loss_probability: float
+    delivery: Dict[str, float]
+    overhead: Dict[str, float]
+    latency: Dict[str, float]
+    trials: int
+
+
+def eligible_nodes(graph: Graph, source: NodeId,
+                   crashed: Set[NodeId]) -> Set[NodeId]:
+    """Nodes a broadcast from ``source`` can possibly still reach.
+
+    BFS over ``graph`` minus ``crashed``: permanently-down nodes are out,
+    and so is anything they cut off (no protocol can cross a dead cut
+    vertex, so counting such nodes would measure topology, not protocol).
+    """
+    if source in crashed:
+        return set()
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for w in graph.neighbours_view(v):
+            if w not in crashed and w not in seen:
+                seen.add(w)
+                queue.append(w)
+    return seen
+
+
+def run_fault_sweep(
+    *,
+    losses: Sequence[float] = (0.0, 0.1, 0.2, 0.3),
+    n: int = 40,
+    average_degree: float = 8.0,
+    trials: int = 8,
+    crash_fraction: float = 0.1,
+    horizon: float = 10.0,
+    max_retries: int = 5,
+    parallel: int = 1,
+    rng: RngLike = None,
+) -> List[FaultSweepPoint]:
+    """Sweep channel loss under a per-trial random fault schedule.
+
+    Args:
+        losses: Per-delivery drop probabilities to test.
+        n: Network size.
+        average_degree: Density of the sampled networks.
+        trials: Paired trials per point (fixed count — the sequential
+            stopping rule is deliberately bypassed so the sweep is
+            bit-deterministic across ``parallel`` worker counts).
+        crash_fraction: Fraction of nodes crashed by each trial's schedule
+            (the source is protected; 0 disables crash faults).
+        horizon: Crash times fall uniformly in ``[0, horizon)``.
+        max_retries: Retry budget of the reliable variants.
+        parallel: Worker count handed to
+            :func:`~repro.workload.trials.paired_trials`.
+        rng: Seed or generator.
+
+    Returns:
+        One :class:`FaultSweepPoint` per loss probability.
+    """
+    generator = ensure_rng(rng)
+    points: List[FaultSweepPoint] = []
+    for loss in losses:
+        point_rng = ensure_rng(derive_seed(generator))
+
+        def trial(trial_rng: np.random.Generator,
+                  loss: float = loss) -> Dict[str, float]:
+            return _fault_trial(
+                trial_rng,
+                loss=loss,
+                n=n,
+                average_degree=average_degree,
+                crash_fraction=crash_fraction,
+                horizon=horizon,
+                max_retries=max_retries,
+            )
+
+        outcome = paired_trials(
+            trial,
+            min_samples=trials,
+            max_samples=trials,
+            rng=point_rng,
+            parallel=parallel,
+        )
+        delivery: Dict[str, float] = {}
+        overhead: Dict[str, float] = {}
+        latency: Dict[str, float] = {}
+        for label, interval in outcome.estimates.items():
+            axis, _, protocol = label.partition("/")
+            {"delivery": delivery, "overhead": overhead,
+             "latency": latency}[axis][protocol] = interval.mean
+        points.append(FaultSweepPoint(
+            loss_probability=loss,
+            delivery=delivery,
+            overhead=overhead,
+            latency=latency,
+            trials=outcome.trials,
+        ))
+    return points
+
+
+def _fault_trial(
+    rng: np.random.Generator,
+    *,
+    loss: float,
+    n: int,
+    average_degree: float,
+    crash_fraction: float,
+    horizon: float,
+    max_retries: int,
+) -> Dict[str, float]:
+    """One paired trial: all protocols over one (network, schedule, seeds).
+
+    All randomness is drawn from ``rng`` up front, in a fixed order, so the
+    trial is a pure function of its generator state.
+    """
+    network = random_geometric_network(n, average_degree, rng=rng)
+    graph = network.graph
+    source = int(rng.choice(graph.nodes()))
+    schedule = random_schedule(
+        graph,
+        horizon=horizon,
+        crash_fraction=crash_fraction,
+        protect=(source,),
+        rng=rng,
+    )
+    return run_fault_scenario(
+        graph, source, schedule,
+        loss=loss, rng=rng, max_retries=max_retries,
+    )
+
+
+def run_fault_scenario(
+    graph: Graph,
+    source: NodeId,
+    schedule: FaultSchedule,
+    *,
+    loss: float = 0.0,
+    rng: RngLike = None,
+    max_retries: int = 5,
+) -> Dict[str, float]:
+    """Run every protocol once over one fixed ``(graph, schedule)`` pair.
+
+    The paired building block of :func:`run_fault_sweep`, exposed for the
+    ``repro faults --schedule`` CLI path: hand it a concrete
+    :class:`~repro.faults.schedule.FaultSchedule` (e.g. loaded from JSON)
+    and get the per-protocol metrics for exactly that scenario.
+
+    Returns:
+        ``{"delivery/<protocol>": ..., "overhead/<protocol>": ...,
+        "latency/<protocol>": ...}`` for every protocol in
+        :data:`PROTOCOLS`.
+    """
+    rng = ensure_rng(rng)
+    n = graph.num_nodes
+    loss_seed = derive_seed(rng)  # same channel stream for every protocol
+    fault_seed = derive_seed(rng)  # ... and the same window-draw stream
+    structure = lowest_id_clustering(graph)
+    static = build_static_backbone(structure)
+    sd_plan = broadcast_sd(structure, source).result.forward_nodes
+    eligible = eligible_nodes(graph, source, set(schedule.crashed_nodes()))
+    denominator = max(1, len(eligible))
+
+    metrics: Dict[str, float] = {}
+
+    def faulted_network() -> tuple:
+        net = SimNetwork(graph, loss_probability=loss, rng=loss_seed)
+        injector = FaultInjector(net, rng=fault_seed)
+        apply_schedule(schedule, injector)
+        return net, injector
+
+    def record(label: str, received, reception_time,
+               transmissions: int) -> None:
+        delivered = eligible & set(received)
+        metrics[f"delivery/{label}"] = len(delivered) / denominator
+        metrics[f"overhead/{label}"] = transmissions / n
+        metrics[f"latency/{label}"] = float(
+            max((reception_time[v] for v in delivered), default=0)
+        )
+
+    for label, relays in (("flooding", graph.nodes()),
+                          ("si", static.nodes),
+                          ("sd", sd_plan)):
+        net, _ = faulted_network()
+        protocol = DistributedSIBroadcast(net, relays)
+        protocol.start(source)
+        net.run_phase()
+        result = protocol.result()
+        record(label, result.received, result.reception_time,
+               result.transmissions)
+
+    net, injector = faulted_network()
+    rel = reliable_si(network=net, structure=structure,
+                      injector=injector, max_retries=max_retries)
+    rel.start(source)
+    net.run_phase()
+    out = rel.outcome()
+    record("reliable-si", out.result.received, out.result.reception_time,
+           out.data_transmissions + out.ack_transmissions)
+
+    net, injector = faulted_network()
+    rel = reliable_sd(network=net, structure=structure, source=source,
+                      injector=injector, max_retries=max_retries)
+    rel.start(source)
+    net.run_phase()
+    out = rel.outcome()
+    record("reliable-sd", out.result.received, out.result.reception_time,
+           out.data_transmissions + out.ack_transmissions)
+
+    return metrics
+
+
+__all__ = [
+    "PROTOCOLS",
+    "FaultSweepPoint",
+    "eligible_nodes",
+    "run_fault_scenario",
+    "run_fault_sweep",
+]

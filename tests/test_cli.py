@@ -16,7 +16,7 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for cmd in ("generate", "cluster", "backbone", "broadcast",
-                    "experiment", "trace", "ratio"):
+                    "experiment", "trace", "ratio", "faults"):
             assert cmd in text
 
 
@@ -106,6 +106,37 @@ class TestExtensionCommands:
     def test_mobility_waypoint_model(self, capsys):
         assert main(["mobility", "-n", "15", "-d", "10", "--ticks", "1",
                      "--model", "waypoint"]) == 0
+
+    def test_faults_sweep_table(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        assert main(["faults", "-n", "20", "-d", "8", "--seed", "4",
+                     "--trials", "2", "--losses", "0", "0.2",
+                     "--json", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "loss" in text and "reliable-si" in text
+        doc = json.loads(out.read_text())
+        assert doc["format"] == "repro-fault-sweep"
+        assert len(doc["points"]) == 2
+
+    def test_faults_schedule_file(self, tmp_path, capsys):
+        from repro.faults.schedule import FaultSchedule, NodeDown
+
+        spec = tmp_path / "schedule.json"
+        spec.write_text(json.dumps(
+            FaultSchedule([NodeDown(time=1.0, node=5)]).to_spec()))
+        assert main(["faults", "-n", "20", "-d", "8", "--seed", "4",
+                     "--schedule", str(spec), "--source", "0",
+                     "--loss", "0.1"]) == 0
+        text = capsys.readouterr().out
+        assert "1 events" in text
+        for axis in ("delivery", "overhead", "latency"):
+            assert axis in text
+
+    def test_faults_bad_schedule_is_error(self, tmp_path, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text("{nope")
+        assert main(["faults", "-n", "10", "--schedule", str(spec)]) == 1
+        assert "error:" in capsys.readouterr().err
 
     def test_route(self, capsys):
         assert main(["route", "-n", "25", "-d", "8", "--source", "0"]) == 0

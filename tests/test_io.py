@@ -83,6 +83,84 @@ class TestResults:
         assert records[1]["samples"] == 31
 
 
+class TestSweepRoundTrips:
+    def robustness_points(self):
+        from repro.workload.robustness import RobustnessPoint
+
+        return [
+            RobustnessPoint(loss_probability=0.0,
+                            delivery={"flooding": 1.0, "static": 1.0},
+                            forwards={"flooding": 30.0, "static": 14.5}),
+            RobustnessPoint(loss_probability=0.2,
+                            delivery={"flooding": 0.93, "static": 0.81},
+                            forwards={"flooding": 27.1, "static": 11.2}),
+        ]
+
+    def fault_points(self):
+        from repro.workload.faultsweep import FaultSweepPoint
+
+        return [
+            FaultSweepPoint(loss_probability=0.2,
+                            delivery={"si": 0.8, "reliable-si": 1.0},
+                            overhead={"si": 0.4, "reliable-si": 2.2},
+                            latency={"si": 4.0, "reliable-si": 9.5},
+                            trials=8),
+        ]
+
+    def test_robustness_roundtrip(self, tmp_path):
+        from repro.io.results import robustness_from_json, robustness_to_json
+
+        points = self.robustness_points()
+        path = tmp_path / "robustness.json"
+        assert robustness_to_json(points, path) == 2
+        assert robustness_from_json(path) == points
+
+    def test_fault_sweep_roundtrip(self, tmp_path):
+        from repro.io.results import fault_sweep_from_json, fault_sweep_to_json
+
+        points = self.fault_points()
+        path = tmp_path / "faults.json"
+        assert fault_sweep_to_json(points, path) == 1
+        assert fault_sweep_from_json(path) == points
+
+    def test_formats_not_interchangeable(self, tmp_path):
+        from repro.io.results import fault_sweep_from_json, robustness_to_json
+
+        path = tmp_path / "robustness.json"
+        robustness_to_json(self.robustness_points(), path)
+        with pytest.raises(ConfigurationError, match="not a"):
+            fault_sweep_from_json(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        from repro.io.results import robustness_from_json
+
+        path = tmp_path / "bad.json"
+        path.write_text("{oops")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            robustness_from_json(path)
+
+    def test_malformed_point_rejected(self, tmp_path):
+        from repro.io.results import FAULT_SWEEP_FORMAT, fault_sweep_from_json
+
+        path = tmp_path / "malformed.json"
+        path.write_text(json.dumps({
+            "format": FAULT_SWEEP_FORMAT, "version": 1,
+            "points": [{"loss_probability": 0.1}],
+        }))
+        with pytest.raises(ConfigurationError, match="malformed"):
+            fault_sweep_from_json(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        from repro.io.results import ROBUSTNESS_FORMAT, robustness_from_json
+
+        path = tmp_path / "v99.json"
+        path.write_text(json.dumps({
+            "format": ROBUSTNESS_FORMAT, "version": 99, "points": [],
+        }))
+        with pytest.raises(ConfigurationError, match="version"):
+            robustness_from_json(path)
+
+
 class TestMarkdown:
     def test_markdown_output(self, tmp_path):
         from repro.io.results import tables_to_markdown

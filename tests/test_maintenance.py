@@ -1,12 +1,13 @@
 """Tests for churn metrics and mobility sessions."""
 
+import numpy as np
 import pytest
 
 from repro.backbone.static_backbone import build_static_backbone
 from repro.cluster.lowest_id import lowest_id_clustering
 from repro.cluster.state import ClusterStructure
 from repro.errors import ConfigurationError
-from repro.geometry.mobility import RandomWalk, RandomWaypoint
+from repro.geometry.mobility import MobilityModel, RandomWalk, RandomWaypoint
 from repro.graph.adjacency import Graph
 from repro.graph.generators import random_geometric_network
 from repro.maintenance.session import MobilitySession
@@ -119,3 +120,94 @@ class TestMobilitySession:
             return sum(r.link_changes for r in session.run(8))
 
         assert total_churn(0.5) < total_churn(8.0)
+
+
+class Exile(MobilityModel):
+    """Teleport chosen rows out of radio range; everyone else holds still.
+
+    A degenerate mobility model for adverse-maintenance tests: exiled
+    nodes keep existing (the session's node set is fixed) but lose every
+    incident link at once — a clusterhead vanishing outright rather than
+    drifting away one edge at a time.
+    """
+
+    def __init__(self, rows, area):
+        super().__init__(area, rng=0)
+        self.rows = tuple(rows)
+
+    def step(self, positions, dt):
+        pts = np.array(positions, dtype=float)
+        for offset, row in enumerate(self.rows):
+            # Far from everyone, including the other exiles.
+            pts[row] = (1e6 + 1e3 * offset, 1e6)
+        return pts
+
+
+class TestAdverseMaintenance:
+    """Disconnected snapshots and clusterheads vanishing outright."""
+
+    def make_sessions(self, rows, seed=17, n=30):
+        """A full-recompute and an incremental session over one motion."""
+        net = random_geometric_network(n, 10.0, rng=seed)
+        order = net.graph.nodes()
+        victims = [order.index(v) for v in rows]
+        return (
+            MobilitySession(net, Exile(victims, net.area)),
+            MobilitySession(net, Exile(victims, net.area), incremental=True),
+            net,
+        )
+
+    def test_disconnected_snapshot_reported_not_fatal(self):
+        net = random_geometric_network(30, 10.0, rng=17)
+        head = min(lowest_id_clustering(net.graph).clusterheads)
+        full, inc, _ = self.make_sessions([head])
+        for session in (full, inc):
+            report = session.step()
+            assert not report.connected
+            # Churn is still accounted and structures still derived.
+            assert report.cluster_churn is not None
+            assert report.backbone_churn is not None
+            assert set(report.structure.head_of) == set(net.graph.nodes())
+
+    def test_vanished_clusterhead_becomes_isolated_self_head(self):
+        net = random_geometric_network(30, 10.0, rng=17)
+        head = min(lowest_id_clustering(net.graph).clusterheads)
+        full, inc, _ = self.make_sessions([head])
+        for session in (full, inc):
+            report = session.step()
+            # The exile keeps its (lowest) id, so it stays a head — but of
+            # a singleton cluster, and it can no longer sit on the backbone
+            # as anyone's gateway.
+            assert report.structure.head_of[head] == head
+            assert report.structure.members(head) == frozenset()
+            assert head not in report.backbone.gateways
+
+    def test_incremental_matches_full_after_vanishing(self):
+        heads = sorted(lowest_id_clustering(
+            random_geometric_network(30, 10.0, rng=17).graph).clusterheads)
+        # Kill two heads at once: batch edge removal through the repair
+        # cascade, then a second tick with no further motion (idempotence).
+        full, inc, _ = self.make_sessions(heads[:2])
+        for _ in range(2):
+            a = full.step()
+            b = inc.step()
+            assert b.structure.head_of == a.structure.head_of
+            assert b.backbone.nodes == a.backbone.nodes
+            assert b.backbone.gateways == a.backbone.gateways
+            assert b.connected == a.connected
+
+    def test_incremental_survives_repeated_disconnection(self):
+        # Alternate exile ticks with stationary ticks; the incremental
+        # session must track the from-scratch derivation throughout.
+        net = random_geometric_network(25, 8.0, rng=19)
+        victim = max(net.graph.nodes())
+        order = net.graph.nodes()
+        inc = MobilitySession(
+            net, Exile([order.index(victim)], net.area), incremental=True
+        )
+        for _ in range(3):
+            report = inc.step()
+            scratch = lowest_id_clustering(report.network.graph)
+            assert report.structure.head_of == scratch.head_of
+            assert report.backbone.nodes == \
+                build_static_backbone(scratch).nodes

@@ -56,8 +56,21 @@ class TestMedium:
     def test_invalid_loss_probability(self):
         g = Graph(edges=[(0, 1)])
         sim = Simulator()
+        for bad in (-0.1, 1.5, float("nan")):
+            with pytest.raises(SimulationError):
+                WirelessMedium(sim, g, loss_probability=bad)
         with pytest.raises(SimulationError):
-            WirelessMedium(sim, g, loss_probability=1.0)
+            WirelessMedium(sim, g).set_loss(-1.0)
+
+    def test_total_loss_is_valid(self):
+        # p = 1.0 is a legitimate experiment (total blackout), not an error.
+        g = Graph(edges=[(0, 1)])
+        net = SimNetwork(g, loss_probability=1.0, rng=0)
+        got = []
+        net.node(1).on(Hello, lambda n, s, m: got.append(s))
+        net.sim.schedule(0.0, lambda: net.node(0).send(Hello(origin=0)))
+        net.run_phase()
+        assert got == []
 
     def test_lossy_channel_drops_some(self):
         g = Graph(edges=[(0, i) for i in range(1, 200)])

@@ -1,0 +1,84 @@
+"""Tests for the fault-sweep experiment driver."""
+
+import pytest
+
+from repro.faults.schedule import FaultSchedule, NodeDown
+from repro.graph.adjacency import Graph
+from repro.graph.generators import random_geometric_network
+from repro.workload.faultsweep import (
+    PROTOCOLS,
+    eligible_nodes,
+    run_fault_scenario,
+    run_fault_sweep,
+)
+
+SWEEP_KW = dict(losses=(0.0, 0.2), n=25, average_degree=8.0, trials=4)
+
+
+class TestEligibleNodes:
+    def test_crash_of_cut_vertex_excludes_component(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        assert eligible_nodes(g, 0, {1}) == {0}
+        assert eligible_nodes(g, 0, {2}) == {0, 1}
+        assert eligible_nodes(g, 0, set()) == {0, 1, 2, 3}
+
+    def test_crashed_source_reaches_nobody(self):
+        g = Graph(edges=[(0, 1)])
+        assert eligible_nodes(g, 0, {0}) == set()
+
+
+class TestScenario:
+    def test_metric_keys_cover_all_protocols(self):
+        g = random_geometric_network(25, 8.0, rng=1).graph
+        metrics = run_fault_scenario(g, 0, FaultSchedule(), rng=2)
+        for proto in PROTOCOLS:
+            for axis in ("delivery", "overhead", "latency"):
+                assert f"{axis}/{proto}" in metrics
+
+    def test_ideal_scenario_full_delivery(self):
+        g = random_geometric_network(25, 8.0, rng=1).graph
+        metrics = run_fault_scenario(g, 0, FaultSchedule(), rng=2)
+        for proto in PROTOCOLS:
+            assert metrics[f"delivery/{proto}"] == 1.0
+
+    def test_fixed_schedule_is_deterministic(self):
+        g = random_geometric_network(25, 8.0, rng=1).graph
+        sched = FaultSchedule([NodeDown(time=1.0, node=5)])
+        a = run_fault_scenario(g, 0, sched, loss=0.2, rng=3)
+        b = run_fault_scenario(g, 0, sched, loss=0.2, rng=3)
+        assert a == b
+
+
+class TestSweep:
+    def test_point_shape(self):
+        points = run_fault_sweep(rng=0, **SWEEP_KW)
+        assert [p.loss_probability for p in points] == [0.0, 0.2]
+        for p in points:
+            assert p.trials == 4
+            assert set(p.delivery) == set(PROTOCOLS)
+            assert set(p.overhead) == set(PROTOCOLS)
+            assert set(p.latency) == set(PROTOCOLS)
+            for v in p.delivery.values():
+                assert 0.0 <= v <= 1.0
+
+    def test_reliability_layer_dominates_under_loss(self):
+        points = run_fault_sweep(rng=0, **SWEEP_KW)
+        lossy = points[-1]
+        assert lossy.delivery["reliable-si"] >= lossy.delivery["si"]
+        assert lossy.delivery["reliable-sd"] >= lossy.delivery["sd"]
+        # Reliability is paid for in transmissions.
+        assert lossy.overhead["reliable-si"] > lossy.overhead["si"]
+
+    def test_bit_deterministic_across_runs(self):
+        a = run_fault_sweep(rng=7, **SWEEP_KW)
+        b = run_fault_sweep(rng=7, **SWEEP_KW)
+        assert a == b
+        c = run_fault_sweep(rng=8, **SWEEP_KW)
+        assert a != c
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_identical_across_parallel_worker_counts(self, workers):
+        """Trial i consumes spawned child stream i whatever the pool size."""
+        reference = run_fault_sweep(rng=7, parallel=2, **SWEEP_KW)
+        assert run_fault_sweep(rng=7, parallel=workers, **SWEEP_KW) == \
+            reference
