@@ -5,8 +5,8 @@ loss the plain SI/SD backbone broadcasts measurably degrade (one lost relay
 delivery severs a subtree), while the reliable ACK/retransmit variants hold
 delivery at >= 0.99 — at a quantified retransmission-overhead and
 recovery-latency price.  The sweep is bit-deterministic: same seed, same
-curves, independent of the ``--parallel`` worker count (for ``parallel >=
-2``).
+curves, independent of the execution backend and worker count (the sweep
+runs as a picklable trial spec; see :mod:`repro.exec.backends`).
 
 Runs standalone (the CI smoke test and ``make bench-faults``)::
 

@@ -1,0 +1,216 @@
+"""Process-parallel paired trials: speedup, bit-identity and the trajectory.
+
+Benches the fig6 ``d=6`` sweep (the acceptance scenario of the ``repro.exec``
+subsystem) serial vs the process backend:
+
+* asserts the **bit-identity contract** — the serial and process estimates
+  must be exactly equal, whatever the worker count;
+* measures the **speedup** and gates it: the local requirement scales with
+  the visible cores (``min(3.0, max(0.5, 0.45 * cores))`` — 3x on an
+  8-core runner, overhead-tolerant on starved 1-core containers);
+* appends the measurement to the persisted ``BENCH_trials.json``
+  **trajectory** and fails if the speedup regressed to below 70% of the
+  previous comparable point (same scenario, same core count).
+
+Runs standalone (the CI perf-smoke job and ``make bench-parallel``)::
+
+    PYTHONPATH=src python benchmarks/bench_trials_parallel.py --quick
+    PYTHONPATH=src python benchmarks/bench_trials_parallel.py --json
+
+It is also collected by pytest (``bench_*.py``): the equivalence test below
+asserts serial == process on a small sweep; timing stays out of the suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.exec.backends import ProcessBackend
+from repro.exec.scenarios import get_scenario_cache
+from repro.io.results import append_perf_point, load_perf_trajectory
+from repro.workload.config import PaperEnvironment
+from repro.workload.experiments import run_fig6
+
+#: Default trajectory location (committed at the repo root).
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_trials.json"
+
+#: The bench scenario: the paper's fig6 sweep restricted to d=6 (the sparse
+#: sub-figure, where connectivity rejection makes trials expensive).
+SWEEP = {"degrees": (6.0,), "ns": (20, 40, 60, 80, 100)}
+QUICK = {"degrees": (6.0,), "ns": (20, 40)}
+
+#: Regression gate: the fresh speedup must reach this fraction of the
+#: previous comparable trajectory point.
+REGRESSION_FLOOR = 0.7
+
+
+def required_speedup(cores: int) -> float:
+    """The core-aware local speedup gate.
+
+    A 3x speedup is physically impossible on a 1-core container, so the
+    requirement scales with the cores the runner actually has, saturating
+    at the acceptance criterion's 3x (reached from 7 cores up) and
+    bottoming out at 0.5x (process-pool overhead must not be
+    catastrophic).
+    """
+    return min(3.0, max(0.5, 0.45 * cores))
+
+
+def _sweep_env(*, quick: bool, trials: int, seed: int) -> PaperEnvironment:
+    shape = QUICK if quick else SWEEP
+    # A fixed trial count (min == max) keeps the two timed runs doing
+    # identical work and the trajectory comparable run-over-run.
+    return PaperEnvironment(
+        ns=shape["ns"], degrees=shape["degrees"],
+        min_samples=trials, max_samples=trials, seed=seed,
+    )
+
+
+def _timed_run(env: PaperEnvironment, *, backend, parallel: int):
+    """One cold run: cleared scenario cache, fresh pool, records flattened."""
+    get_scenario_cache().clear()  # cold cache for a fair comparison
+    t0 = time.perf_counter()
+    tables = run_fig6(env, backend=backend, parallel=parallel)
+    elapsed = time.perf_counter() - t0
+    records = [rec for _d, table in sorted(tables.items())
+               for rec in table.to_records()]
+    return records, elapsed
+
+
+def run_bench(*, quick: bool, trials: int, workers: int, seed: int) -> dict:
+    """Serial vs process on the same sweep; assert identity, measure speedup."""
+    env = _sweep_env(quick=quick, trials=trials, seed=seed)
+    serial_records, serial_seconds = _timed_run(env, backend="serial",
+                                                parallel=1)
+    # A dedicated pool, created after the cache clear: the forked workers
+    # must not inherit a warm parent cache, and pool startup is honestly
+    # part of the measured time.
+    pool = ProcessBackend(workers)
+    try:
+        process_records, process_seconds = _timed_run(
+            env, backend=pool, parallel=workers
+        )
+        half = ProcessBackend(max(1, workers // 2))
+        try:
+            half_records, _ = _timed_run(env, backend=half,
+                                         parallel=max(1, workers // 2))
+        finally:
+            half.close()
+    finally:
+        pool.close()
+    assert process_records == serial_records, (
+        "process-backend estimates diverged from serial — the determinism "
+        "contract is broken"
+    )
+    assert half_records == process_records, (
+        f"estimates changed between {workers} and {max(1, workers // 2)} "
+        f"workers — wave partitioning leaked into the fold"
+    )
+    cores = os.cpu_count() or 1
+    return {
+        "quick": quick,
+        "label": f"fig6-d6-{'quick' if quick else 'paper'}-trials{trials}"
+                 f"-workers{workers}",
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "cores": cores,
+        "workers": workers,
+        "trials_per_point": trials,
+        "points": len(serial_records),
+        "seed": seed,
+        "serial_seconds": round(serial_seconds, 3),
+        "process_seconds": round(process_seconds, 3),
+        "speedup": round(serial_seconds / process_seconds, 3),
+        "bit_identical": True,
+    }
+
+
+def check_speedup_gates(summary: dict, bench_file: Path) -> None:
+    """The acceptance criteria, shared by the CLI gate and CI.
+
+    The absolute core-aware gate applies to the full bench only: the
+    ``--quick`` sweep is deliberately too small to amortise pool startup
+    and gates on bit-identity plus the trajectory regression floor.
+    """
+    if not summary.get("quick"):
+        required = required_speedup(summary["cores"])
+        assert summary["speedup"] >= required, (
+            f"process x{summary['workers']} speedup {summary['speedup']:.2f} "
+            f"below the {required:.2f} required on {summary['cores']} core(s)"
+        )
+    previous = None
+    for rec in reversed(load_perf_trajectory(bench_file)):
+        if (rec.get("label") == summary["label"]
+                and rec.get("cores") == summary["cores"]):
+            previous = rec
+            break
+    if previous is not None:
+        floor = REGRESSION_FLOOR * float(previous["speedup"])
+        assert summary["speedup"] >= floor, (
+            f"speedup regressed: {summary['speedup']:.2f} < {floor:.2f} "
+            f"(70% of the previous comparable point "
+            f"{previous['speedup']:.2f} from {previous.get('timestamp')})"
+        )
+
+
+def test_process_backend_matches_serial():
+    """Pytest hook: the bit-identity contract on a small sweep (no timing)."""
+    summary = run_bench(quick=True, trials=4, workers=2, seed=0)
+    assert summary["bit_identical"]
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sweep for CI smoke (seconds)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="paired trials per point (default 30; 8 with "
+                             "--quick)")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="process-pool worker count (default 8)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--bench-file", type=Path, default=BENCH_FILE,
+                        help="trajectory JSON to compare against and append "
+                             "to")
+    parser.add_argument("--no-record", action="store_true",
+                        help="measure and gate but do not append to the "
+                             "trajectory")
+    args = parser.parse_args(argv)
+
+    trials = args.trials if args.trials is not None else (
+        8 if args.quick else 30)
+    summary = run_bench(quick=args.quick, trials=trials,
+                        workers=args.workers, seed=args.seed)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"paired-trials parallel bench: {summary['label']} "
+              f"({summary['points']} records, {summary['cores']} cores)")
+        print(f"  serial        {summary['serial_seconds']:>8.3f}s")
+        print(f"  process x{summary['workers']:<3} {summary['process_seconds']:>8.3f}s")
+        print(f"  speedup       {summary['speedup']:>8.2f}x "
+              f"(required {required_speedup(summary['cores']):.2f}x)")
+        print("  estimates bit-identical across backends and worker counts")
+    try:
+        check_speedup_gates(summary, args.bench_file)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    if not args.no_record:
+        length = append_perf_point(args.bench_file, summary)
+        print(f"recorded trajectory point {length} in {args.bench_file}")
+    print(f"OK: speedup {summary['speedup']:.2f}x on "
+          f"{summary['cores']} core(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
 
+from repro import perf
 from repro.coverage.entries import CoverageSet
 from repro.errors import BackboneError
 from repro.types import NodeId
@@ -56,6 +57,7 @@ class GatewaySelection:
         return frozenset(self.connectors)
 
 
+@perf.timed("selection")
 def select_gateways(
     coverage: CoverageSet,
     targets: Optional[Iterable[NodeId]] = None,

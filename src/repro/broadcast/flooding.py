@@ -10,12 +10,14 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict
 
+from repro import perf
 from repro.broadcast.result import BroadcastResult
 from repro.errors import NodeNotFoundError
 from repro.graph.adjacency import Graph
 from repro.types import NodeId
 
 
+@perf.timed("broadcast")
 def blind_flooding(graph: Graph, source: NodeId) -> BroadcastResult:
     """Flood from ``source``; every node retransmits once.
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
+from repro import perf
 from repro.backbone.gateway_selection import select_gateways
 from repro.broadcast.result import BroadcastResult
 from repro.cluster.state import ClusterStructure
@@ -105,6 +106,7 @@ class DynamicBroadcast:
         return frozenset(gateways)
 
 
+@perf.timed("broadcast")
 def broadcast_sd(
     structure: ClusterStructure,
     source: NodeId,

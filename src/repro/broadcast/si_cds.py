@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Iterable, Set, Union
 
+from repro import perf
 from repro.backbone.static_backbone import Backbone
 from repro.broadcast.result import BroadcastResult
 from repro.errors import NodeNotFoundError
@@ -18,6 +19,7 @@ from repro.topology.view import TopologyLike, as_view
 from repro.types import NodeId
 
 
+@perf.timed("broadcast")
 def broadcast_si(
     graph: TopologyLike,
     cds: Union[Backbone, Iterable[NodeId]],

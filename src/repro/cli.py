@@ -7,6 +7,7 @@
 * ``backbone``   — build the static backbone / MO_CDS and print/verify it;
 * ``broadcast``  — run a broadcast protocol from a source and print stats;
 * ``experiment`` — regenerate a paper figure's series tables;
+* ``perf``       — per-stage wall-clock attribution for a figure sweep;
 * ``trace``      — run the distributed protocols and print the message trace;
 * ``ratio``      — the empirical MCDS approximation-ratio study;
 * ``svg``        — export the network/backbone as an SVG figure;
@@ -148,7 +149,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     }
     env = PaperEnvironment.quick() if args.quick else PaperEnvironment.paper()
     env = env.scaled(seed=args.seed)
-    tables = runners[args.figure](env)
+    tables = runners[args.figure](
+        env, backend=args.backend, parallel=args.parallel
+    )
     for _d, table in sorted(tables.items()):
         print(table.render(ci=args.ci))
         print()
@@ -158,6 +161,51 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.json:
         n = tables_to_json(tables.values(), args.json)
         print(f"wrote {n} records to {args.json}")
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro import perf
+    from repro.exec.scenarios import get_scenario_cache
+    from repro.workload.config import PaperEnvironment
+    from repro.workload.experiments import (
+        run_fig6, run_fig7, run_fig8, run_flooding_comparison,
+    )
+
+    runners = {
+        "fig6": run_fig6,
+        "fig7": run_fig7,
+        "fig8": run_fig8,
+        "flooding": run_flooding_comparison,
+    }
+    env = PaperEnvironment.paper() if args.paper else PaperEnvironment.quick()
+    env = env.scaled(seed=args.seed)
+    cache = get_scenario_cache()
+    cache.clear()  # attribute placement/construction, not cache hits
+    was_enabled = perf.enabled()
+    perf.enable()
+    perf.reset()
+    try:
+        runners[args.figure](env, backend=args.backend, parallel=args.parallel)
+    finally:
+        counters = perf.snapshot()
+        perf.enable(was_enabled)
+    if args.json:
+        print(_json.dumps(
+            {"figure": args.figure, "backend": args.backend,
+             "parallel": args.parallel, "stages": counters,
+             "scenario_cache": cache.stats()},
+            indent=2,
+        ))
+    else:
+        print(f"{args.figure} on backend={args.backend} "
+              f"parallel={args.parallel} (seed {args.seed})")
+        print(perf.render_report(counters))
+        stats = cache.stats()
+        print(f"scenario cache: {stats['hits']} hits / "
+              f"{stats['misses']} misses ({stats['entries']} entries)")
     return 0
 
 
@@ -283,6 +331,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         losses=tuple(args.losses), n=args.nodes,
         average_degree=args.degree, trials=args.trials,
         crash_fraction=args.crash_fraction, rng=args.seed,
+        backend=args.backend, parallel=args.parallel,
     )
     print(f"{'loss':>6} | {header}")
     for p in points:
@@ -389,7 +438,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=DEFAULT_SEED)
     p.add_argument("--csv", help="also write rows to this CSV file")
     p.add_argument("--json", help="also write records to this JSON file")
+    p.add_argument("--backend", choices=["serial", "thread", "process"],
+                   default=None,
+                   help="execution backend (results are identical; process "
+                        "uses real multi-core workers)")
+    p.add_argument("--parallel", type=int, default=1,
+                   help="worker count for the pooled backends")
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "perf", help="per-stage wall-clock attribution for a figure sweep"
+    )
+    p.add_argument("--figure", choices=["fig6", "fig7", "fig8", "flooding"],
+                   default="fig6")
+    p.add_argument("--paper", action="store_true",
+                   help="full paper environment (default: quick)")
+    p.add_argument("--backend", choices=["serial", "thread"],
+                   default="serial",
+                   help="stage counters are process-local, so attribution "
+                        "supports the in-process backends only")
+    p.add_argument("--parallel", type=int, default=1)
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.set_defaults(func=_cmd_perf)
 
     p = sub.add_parser("trace", help="distributed protocol message trace")
     _add_network_args(p)
@@ -445,6 +517,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=8)
     p.add_argument("--crash-fraction", type=float, default=0.1)
     p.add_argument("--json", help="also write sweep points to this JSON file")
+    p.add_argument("--backend", choices=["serial", "thread", "process"],
+                   default=None,
+                   help="execution backend for the sweep (identical results)")
+    p.add_argument("--parallel", type=int, default=1)
     p.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser("mobility", help="backbone churn under movement")

@@ -21,11 +21,13 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro import perf
 from repro.cluster.state import ClusterStructure
 from repro.graph.adjacency import Graph
 from repro.types import NodeId
 
 
+@perf.timed("clustering")
 def lowest_id_clustering(graph: Graph) -> ClusterStructure:
     """Cluster ``graph`` with the lowest-ID rule.
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional
 
+from repro import perf
 from repro.cluster.state import ClusterStructure
 from repro.coverage.entries import CoverageSet
 from repro.coverage.three_hop import three_hop_coverage
@@ -36,6 +37,7 @@ def compute_coverage_set(
     raise ValueError(f"unknown coverage policy {policy!r}")
 
 
+@perf.timed("coverage")
 def compute_all_coverage_sets(
     structure: ClusterStructure,
     policy: CoveragePolicy = CoveragePolicy.TWO_FIVE_HOP,

@@ -1,0 +1,60 @@
+"""Execution subsystem: backends, trial specs and the scenario cache.
+
+``repro.exec`` is the layer between the workload drivers and the hardware:
+
+* :mod:`repro.exec.backends` — pluggable ``serial`` / ``thread`` /
+  ``process`` execution for :func:`repro.workload.trials.paired_trials`,
+  with a persistent process pool and an index-ordered determinism contract
+  (estimates are bit-identical across backends and worker counts);
+* :mod:`repro.exec.spec` — picklable :class:`TrialSpec` descriptions so
+  trial functions resolve worker-side instead of pickling per call;
+* :mod:`repro.exec.scenarios` — the cross-experiment scenario cache that
+  draws each connected network sample once and shares it between figures,
+  sweeps and fault scenarios.
+
+See docs/performance.md for the user-level tour.
+"""
+
+from repro.exec.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    TrialJob,
+    as_backend,
+    shared_backend,
+    shutdown_shared_backends,
+)
+from repro.exec.scenarios import (
+    Scenario,
+    ScenarioCache,
+    ScenarioKey,
+    connected_network,
+    connected_scenario,
+    get_scenario_cache,
+    scenario_positions,
+)
+from repro.exec.spec import IndexedTrialFn, TrialSpec, resolve_cached
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "IndexedTrialFn",
+    "ProcessBackend",
+    "Scenario",
+    "ScenarioCache",
+    "ScenarioKey",
+    "SerialBackend",
+    "ThreadBackend",
+    "TrialJob",
+    "TrialSpec",
+    "as_backend",
+    "connected_network",
+    "connected_scenario",
+    "get_scenario_cache",
+    "resolve_cached",
+    "scenario_positions",
+    "shared_backend",
+    "shutdown_shared_backends",
+]

@@ -1,0 +1,253 @@
+"""Execution backends: where paired trials actually run.
+
+Three interchangeable strategies behind one contract:
+
+* ``serial`` — inline in the calling thread.  The reference backend: the
+  other two must reproduce its results bit for bit.
+* ``thread`` — a ``ThreadPoolExecutor``.  Useful only when the trial
+  function releases the GIL (IO, heavy numpy); the pure-Python trial
+  pipeline is GIL-bound and sees near-zero speedup here.
+* ``process`` — a persistent ``ProcessPoolExecutor``.  Real multi-core
+  execution: trials cross the boundary as a :class:`~repro.exec.spec.TrialSpec`
+  plus per-trial seed sequences (both tiny and picklable); workers resolve
+  the spec once and keep it memoized, so steady-state submissions pickle a
+  few hundred bytes per chunk, never the trial function.
+
+The determinism contract all three share: a wave of trials is described by
+``(start_index, seed_sequences)`` where trial ``i`` always consumes spawned
+child stream ``i``; backends return results **in trial-index order**, so the
+caller's fold is independent of scheduling, worker count and chunking.
+
+Backends are cheap to construct but pools are not, so :func:`shared_backend`
+hands out process/thread backends memoized per worker count — a figure
+sweep's ten experiment points reuse one warm pool instead of forking eight
+workers per point.
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+from abc import ABC, abstractmethod
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.exec.spec import IndexedTrialFn, TrialSpec, resolve_cached
+
+#: Names accepted by :func:`as_backend` / ``paired_trials(backend=...)``.
+BACKENDS = ("serial", "thread", "process")
+
+
+class TrialJob:
+    """One runnable trial description: a spec, or an in-process callable.
+
+    ``fn`` takes only a generator (the legacy closure contract); ``spec``
+    resolves to an indexed trial ``(index, generator) -> metrics``.  Exactly
+    one of the two is set.
+    """
+
+    __slots__ = ("spec", "fn", "_resolved")
+
+    def __init__(self, *, spec: Optional[TrialSpec] = None,
+                 fn: Optional[Callable] = None) -> None:
+        if (spec is None) == (fn is None):
+            raise ConfigurationError("a trial job needs a spec or a "
+                                     "function, not both")
+        self.spec = spec
+        self.fn = fn
+        self._resolved: Optional[IndexedTrialFn] = None
+
+    def call(self, index: int, generator: np.random.Generator
+             ) -> Mapping[str, float]:
+        """Execute the trial in the current process."""
+        if self.fn is not None:
+            return self.fn(generator)
+        if self._resolved is None:
+            self._resolved = resolve_cached(self.spec)  # type: ignore[arg-type]
+        return self._resolved(index, generator)
+
+
+class ExecutionBackend(ABC):
+    """The pluggable execution strategy behind ``paired_trials``."""
+
+    name: str
+
+    @abstractmethod
+    def run_wave(self, job: TrialJob, start_index: int,
+                 seeds: Sequence[np.random.SeedSequence]
+                 ) -> List[Mapping[str, float]]:
+        """Run trials ``start_index .. start_index+len(seeds)-1``.
+
+        Returns:
+            One metrics mapping per trial, **in trial-index order**.
+        """
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent; no-op by default)."""
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline execution — the bit-exact reference for the pooled backends."""
+
+    name = "serial"
+
+    def run_wave(self, job, start_index, seeds):
+        return [
+            job.call(start_index + k, np.random.default_rng(seq))
+            for k, seq in enumerate(seeds)
+        ]
+
+
+class _PooledBackend(ExecutionBackend):
+    """Shared wave logic for executor-pool backends."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"backend needs workers >= 1, got {workers}"
+            )
+        self.workers = workers
+        self._pool: Optional[Executor] = None
+
+    @abstractmethod
+    def _make_pool(self) -> Executor:
+        ...
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def _run_spec_chunk(spec: TrialSpec,
+                    items: List[Tuple[int, np.random.SeedSequence]]
+                    ) -> List[Mapping[str, float]]:
+    """Worker entry point: resolve ``spec`` (memoized) and run its items."""
+    fn = resolve_cached(spec)
+    return [fn(index, np.random.default_rng(seq)) for index, seq in items]
+
+
+def _chunk(items: list, pieces: int) -> List[list]:
+    """Split ``items`` into at most ``pieces`` contiguous runs."""
+    size = max(1, math.ceil(len(items) / max(1, pieces)))
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+class ThreadBackend(_PooledBackend):
+    """Thread-pool execution.
+
+    Kept for trial functions that release the GIL; for the pure-Python
+    pipeline prefer :class:`ProcessBackend`.  Accepts both closures and
+    specs (nothing crosses a process boundary).
+    """
+
+    name = "thread"
+
+    def _make_pool(self) -> Executor:
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+    def run_wave(self, job, start_index, seeds):
+        pool = self._ensure_pool()
+        indexed = list(enumerate(seeds, start=start_index))
+        return list(pool.map(
+            lambda item: job.call(item[0], np.random.default_rng(item[1])),
+            indexed,
+        ))
+
+
+class ProcessBackend(_PooledBackend):
+    """Process-pool execution: real multi-core throughput.
+
+    The pool is persistent (created on first wave, reused until
+    :meth:`close`); work ships as ``(spec, [(index, seed), ...])`` chunks —
+    roughly one chunk per worker per wave — and results come back in chunk
+    order, which is trial-index order.
+    """
+
+    name = "process"
+
+    def _make_pool(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def run_wave(self, job, start_index, seeds):
+        if job.spec is None:
+            raise ConfigurationError(
+                "the process backend needs a picklable TrialSpec; plain "
+                "trial closures cannot cross the process boundary — build "
+                "the trial with TrialSpec.create(...) or use the serial/"
+                "thread backend"
+            )
+        pool = self._ensure_pool()
+        items = list(enumerate(seeds, start=start_index))
+        futures = [
+            pool.submit(_run_spec_chunk, job.spec, chunk)
+            for chunk in _chunk(items, self.workers)
+        ]
+        results: List[Mapping[str, float]] = []
+        for future in futures:  # submission order == trial-index order
+            results.extend(future.result())
+        return results
+
+
+_SHARED: Dict[Tuple[str, int], ExecutionBackend] = {}
+
+BackendLike = Union[None, str, ExecutionBackend]
+
+
+def shared_backend(name: str, workers: int = 1) -> ExecutionBackend:
+    """A memoized backend per ``(name, workers)`` — pools stay warm.
+
+    Shared pools are shut down at interpreter exit (or explicitly via
+    :func:`shutdown_shared_backends`).
+    """
+    if name == "serial":
+        return SerialBackend()
+    key = (name, workers)
+    backend = _SHARED.get(key)
+    if backend is None:
+        if name == "thread":
+            backend = ThreadBackend(workers)
+        elif name == "process":
+            backend = ProcessBackend(workers)
+        else:
+            raise ConfigurationError(
+                f"unknown backend {name!r}; expected one of {BACKENDS}"
+            )
+        _SHARED[key] = backend
+    return backend
+
+
+def shutdown_shared_backends() -> None:
+    """Close every pooled backend handed out by :func:`shared_backend`."""
+    while _SHARED:
+        _, backend = _SHARED.popitem()
+        backend.close()
+
+
+atexit.register(shutdown_shared_backends)
+
+
+def as_backend(backend: BackendLike, workers: int = 1) -> ExecutionBackend:
+    """Normalise ``backend`` (name, instance or ``None``) into an instance.
+
+    ``None`` selects ``serial`` for one worker and ``thread`` for more —
+    the backward-compatible default of ``paired_trials(parallel=)``.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None:
+        backend = "serial" if workers <= 1 else "thread"
+    if not isinstance(backend, str):
+        raise ConfigurationError(
+            f"backend must be a name or ExecutionBackend, got "
+            f"{type(backend).__name__}"
+        )
+    return shared_backend(backend, workers)

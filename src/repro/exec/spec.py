@@ -1,0 +1,95 @@
+"""Picklable trial specifications for cross-process execution.
+
+The trial pipeline is pure Python, so real multi-core throughput needs a
+``ProcessPoolExecutor`` — and the trial function has to cross the process
+boundary.  Closures don't pickle (and pickling a resolved function per call
+would dominate small trials), so the process backend ships a
+:class:`TrialSpec` instead: a dotted reference to a module-level *factory*
+plus its keyword arguments.  Workers resolve the spec once (memoized by
+value) and call the resulting trial function directly from then on.
+
+The factory contract::
+
+    def make_my_trial(**kwargs) -> Callable[[int, np.random.Generator],
+                                            Mapping[str, float]]
+
+i.e. a spec-built trial takes ``(trial_index, generator)`` — the index is
+what lets trials key into the cross-experiment scenario cache
+(:mod:`repro.exec.scenarios`) deterministically.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: A spec-resolved trial: ``(trial_index, generator) -> metric values``.
+IndexedTrialFn = Callable[[int, np.random.Generator], Mapping[str, float]]
+
+#: Worker-side memo: spec -> resolved trial function.  Lives at module level
+#: so a persistent pool resolves each distinct spec once per worker process,
+#: not once per submitted chunk.
+_RESOLVED: dict["TrialSpec", IndexedTrialFn] = {}
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """A picklable, hashable description of a trial function.
+
+    Attributes:
+        task: ``"package.module:factory"`` — the factory is imported and
+            called with ``kwargs`` to produce the trial function.
+        kwargs: The factory's keyword arguments as a sorted tuple of
+            ``(name, value)`` pairs (tuples keep the spec hashable so
+            workers can memoize resolution; values must be picklable and
+            should be hashable).
+    """
+
+    task: str
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def create(cls, task: str, **kwargs: Any) -> "TrialSpec":
+        """Build a spec from a dotted task and plain keyword arguments."""
+        if ":" not in task:
+            raise ConfigurationError(
+                f"task must look like 'package.module:factory', got {task!r}"
+            )
+        return cls(task=task, kwargs=tuple(sorted(kwargs.items())))
+
+    def resolve(self) -> IndexedTrialFn:
+        """Import the factory and build the trial function (no memo)."""
+        module_name, _, attr = self.task.partition(":")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise ConfigurationError(
+                f"cannot import trial module {module_name!r}: {exc}"
+            ) from None
+        factory = getattr(module, attr, None)
+        if factory is None:
+            raise ConfigurationError(
+                f"module {module_name!r} has no attribute {attr!r}"
+            )
+        return factory(**dict(self.kwargs))
+
+
+def resolve_cached(spec: TrialSpec) -> IndexedTrialFn:
+    """Resolve ``spec``, memoizing by value when the spec is hashable.
+
+    Unhashable kwarg values degrade gracefully to per-call resolution
+    (the factory call itself is cheap; the memo only saves the import
+    lookup and closure construction).
+    """
+    try:
+        fn = _RESOLVED.get(spec)
+    except TypeError:  # unhashable kwargs
+        return spec.resolve()
+    if fn is None:
+        fn = _RESOLVED[spec] = spec.resolve()
+    return fn

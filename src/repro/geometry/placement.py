@@ -12,6 +12,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import perf
 from repro.errors import ConfigurationError
 from repro.geometry.area import Area
 from repro.rng import RngLike, ensure_rng
@@ -22,6 +23,7 @@ def _check_n(n: int) -> None:
         raise ConfigurationError(f"placement needs n >= 1, got n={n}")
 
 
+@perf.timed("placement")
 def uniform_placement(n: int, area: Optional[Area] = None, rng: RngLike = None) -> np.ndarray:
     """``n`` i.i.d. uniform positions in ``area`` (the paper's placement)."""
     _check_n(n)

@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import perf
 from repro.errors import GeometryError
 from repro.geometry.area import Area
 from repro.geometry.grid import SpatialGrid
@@ -28,6 +29,7 @@ from repro.types import NodeId
 _DENSE_CUTOVER = 1200
 
 
+@perf.timed("construction")
 def unit_disk_graph(
     positions: np.ndarray,
     radius: float,

@@ -21,6 +21,7 @@ from repro.geometry.area import Area
 from repro.geometry.disk import range_for_target_degree
 from repro.geometry.placement import chain_placement, uniform_placement
 from repro.graph.adjacency import Graph
+from repro.graph.build import unit_disk_graph
 from repro.graph.connectivity import is_connected
 from repro.graph.network import Network
 from repro.rng import RngLike, ensure_rng
@@ -136,10 +137,28 @@ def random_geometric_network(
         pts = uniform_placement(n, area, generator)
         ids: Optional[Sequence[NodeId]] = None
         if shuffle_ids:
+            # Drawn even for rejected samples so the generator consumes the
+            # same stream as it always has (golden tests pin the outputs).
             ids = [int(x) for x in generator.permutation(n)]
-        net = Network.from_positions(pts, r, ids=ids, area=area, torus=torus)
-        if is_connected(net.graph):
-            return net
+        # Connectivity only needs the unit-disk graph; the Network (its
+        # positions dict and validation) is materialised only for the one
+        # sample that survives rejection — at sparse settings the vast
+        # majority of draws are rejected.
+        graph = unit_disk_graph(
+            pts, r, ids=ids, torus=area if torus else None
+        )
+        if not is_connected(graph):
+            continue
+        id_list = list(ids) if ids is not None else list(range(n))
+        return Network(
+            graph=graph,
+            positions={
+                v: (float(x), float(y)) for v, (x, y) in zip(id_list, pts)
+            },
+            radius=r,
+            area=area,
+            torus=torus,
+        )
     raise ExperimentError(
         f"no connected sample with n={n}, d={average_degree} in "
         f"{max_attempts} attempts; increase the degree or the budget"

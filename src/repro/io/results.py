@@ -151,6 +151,64 @@ def fault_sweep_from_json(path: PathLike) -> List[FaultSweepPoint]:
     return points
 
 
+PERF_TRAJECTORY_FORMAT = "repro-perf-trajectory"
+
+
+def load_perf_trajectory(path: PathLike) -> List[dict]:
+    """The recorded benchmark points of ``path``, oldest first.
+
+    A missing file is an empty trajectory (the first benchmark run of a
+    fresh checkout); a malformed one raises
+    :class:`~repro.errors.ConfigurationError` — CI must not silently reset
+    history.
+    """
+    if not Path(path).exists():
+        return []
+    points = _load_sweep_document(path, PERF_TRAJECTORY_FORMAT)
+    for rec in points:
+        if not isinstance(rec, dict) or not isinstance(rec.get("label"), str):
+            raise ConfigurationError(
+                f"{path}: malformed trajectory point {rec!r}"
+            )
+    return points
+
+
+def append_perf_point(path: PathLike, point: dict) -> int:
+    """Append one benchmark measurement to the trajectory at ``path``.
+
+    ``point`` must carry a string ``"label"`` identifying the benchmark
+    configuration (comparisons only ever look at points with the same
+    label); everything else is the benchmark's own business.
+
+    Returns:
+        The trajectory length after appending.
+    """
+    if not isinstance(point.get("label"), str):
+        raise ConfigurationError(
+            f"a trajectory point needs a string 'label', got {point!r}"
+        )
+    points = load_perf_trajectory(path)
+    points.append(point)
+    Path(path).write_text(json.dumps(
+        {"format": PERF_TRAJECTORY_FORMAT, "version": _SWEEP_VERSION,
+         "points": points},
+        indent=2,
+    ) + "\n")
+    return len(points)
+
+
+def latest_perf_point(path: PathLike, label: str) -> Union[dict, None]:
+    """The most recent trajectory point with ``label``, or ``None``.
+
+    The comparison anchor for regression gates: benchmarks compare their
+    fresh measurement against this before appending it.
+    """
+    for rec in reversed(load_perf_trajectory(path)):
+        if rec.get("label") == label:
+            return rec
+    return None
+
+
 def tables_to_markdown(tables: Iterable[SeriesTable],
                        path: PathLike) -> int:
     """Write each table as a GitHub-flavoured markdown table.

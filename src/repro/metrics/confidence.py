@@ -255,6 +255,26 @@ class SequentialEstimator:
             return False
         return self.interval().relative_half_width <= self.target
 
+    def projected_samples(self) -> int:
+        """Projected total samples needed to meet the stopping rule.
+
+        The half-width shrinks roughly as ``1/sqrt(k)``, so from the current
+        relative half-width ``r`` the projected requirement is
+        ``ceil(count * (r / target)^2)``, clamped to
+        ``[min_samples, max_samples]``.  Adaptive batching uses this to size
+        the next submission wave instead of overshooting convergence by a
+        fixed batch; the projection is a *hint* (the stopping rule itself is
+        still checked per folded trial), so a noisy early estimate costs at
+        most some extra submitted trials, never correctness.
+        """
+        if self.count < 2:
+            return self.min_samples
+        ratio = self.interval().relative_half_width / self.target
+        if not math.isfinite(ratio):  # zero mean with spread: no projection
+            return self.max_samples
+        projected = math.ceil(self.count * ratio * ratio)
+        return max(self.min_samples, min(self.max_samples, projected))
+
     def exhausted(self) -> bool:
         """Whether the trial budget is spent."""
         return self.count >= self.max_samples

@@ -1,0 +1,181 @@
+"""Per-stage performance instrumentation.
+
+Lightweight wall-clock/call counters on the trial pipeline's six stages —
+``placement``, ``construction``, ``clustering``, ``coverage``, ``selection``
+and ``broadcast`` — so sweeps can report *where* their time goes instead of
+one opaque total.  The ``repro perf`` CLI subcommand and
+``benchmarks/bench_trials_parallel.py`` are the consumers.
+
+Design constraints:
+
+* **Zero overhead when off.**  Instrumented functions pay one module-level
+  boolean check per call while disabled (the default); enable with
+  :func:`enable` or the ``REPRO_PERF=1`` environment variable.
+* **Exclusive attribution.**  Stages nest (a dynamic broadcast computes
+  coverage sets internally); the active-stage stack *pauses* the outer
+  stage while an inner one runs, so per-stage seconds sum to the pipeline
+  total instead of double-counting.
+* **Thread-aware.**  The stage stack is thread-local (the thread backend
+  runs trials concurrently); the accumulated counters are global behind a
+  lock, flushed once per stage exit.
+* **Process-local.**  Counters live in the worker that does the work; the
+  process backend's workers each keep their own registry.  Attribute
+  stages with the ``serial``/``thread`` backends (see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from functools import wraps
+from typing import Callable, Dict, Iterator, TypeVar
+
+#: The canonical pipeline stages, in execution order.  :func:`stage` accepts
+#: any name; these are the ones the built-in instrumentation emits.
+STAGES = (
+    "placement",
+    "construction",
+    "clustering",
+    "coverage",
+    "selection",
+    "broadcast",
+)
+
+_enabled = os.environ.get("REPRO_PERF", "") not in ("", "0")
+_lock = threading.Lock()
+_counters: Dict[str, "StageStats"] = {}
+_local = threading.local()
+
+F = TypeVar("F", bound=Callable)
+
+
+@dataclass
+class StageStats:
+    """Accumulated wall-clock and call count for one stage."""
+
+    seconds: float = 0.0
+    calls: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly representation."""
+        return {"seconds": self.seconds, "calls": self.calls}
+
+
+def enabled() -> bool:
+    """Whether stage timing is currently recording."""
+    return _enabled
+
+
+def enable(on: bool = True) -> None:
+    """Turn stage timing on (or off with ``on=False``)."""
+    global _enabled
+    _enabled = bool(on)
+
+
+def reset() -> None:
+    """Drop all accumulated counters."""
+    with _lock:
+        _counters.clear()
+
+
+def snapshot() -> Dict[str, Dict[str, float]]:
+    """Current counters as ``{stage: {"seconds": s, "calls": n}}``."""
+    with _lock:
+        return {name: stats.as_dict() for name, stats in _counters.items()}
+
+
+class _Frame:
+    """One entry of the active-stage stack: a pausable stopwatch."""
+
+    __slots__ = ("name", "started", "accumulated")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.started = time.perf_counter()
+        self.accumulated = 0.0
+
+    def pause(self) -> None:
+        self.accumulated += time.perf_counter() - self.started
+
+    def resume(self) -> None:
+        self.started = time.perf_counter()
+
+    def stop(self) -> float:
+        self.pause()
+        return self.accumulated
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Attribute the enclosed wall-clock time to ``name``.
+
+    Entering a stage pauses the enclosing one (exclusive attribution); the
+    call counter increments once per entry.  A no-op while disabled.
+    """
+    if not _enabled:
+        yield
+        return
+    stack = _stack()
+    if stack:
+        stack[-1].pause()
+    frame = _Frame(name)
+    stack.append(frame)
+    try:
+        yield
+    finally:
+        elapsed = frame.stop()
+        stack.pop()
+        if stack:
+            stack[-1].resume()
+        with _lock:
+            stats = _counters.get(name)
+            if stats is None:
+                stats = _counters[name] = StageStats()
+            stats.seconds += elapsed
+            stats.calls += 1
+
+
+def timed(name: str) -> Callable[[F], F]:
+    """Decorator form of :func:`stage` (one boolean check when disabled)."""
+
+    def decorate(fn: F) -> F:
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _enabled:
+                return fn(*args, **kwargs)
+            with stage(name):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def render_report(counters: Dict[str, Dict[str, float]] | None = None) -> str:
+    """The counters as an aligned text table (canonical stage order first)."""
+    counters = snapshot() if counters is None else counters
+    names = [s for s in STAGES if s in counters]
+    names += sorted(set(counters) - set(STAGES))
+    total = sum(c["seconds"] for c in counters.values()) or 1.0
+    lines = [f"{'stage':<14} {'calls':>8} {'seconds':>10} {'share':>7}"]
+    for name in names:
+        c = counters[name]
+        lines.append(
+            f"{name:<14} {int(c['calls']):>8} {c['seconds']:>10.4f} "
+            f"{c['seconds'] / total:>6.1%}"
+        )
+    lines.append(
+        f"{'total':<14} {'':>8} "
+        f"{sum(c['seconds'] for c in counters.values()):>10.4f} {'':>7}"
+    )
+    return "\n".join(lines)

@@ -37,6 +37,22 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
 
 
+def spawn_seeds(rng: RngLike, n: int) -> list[np.random.SeedSequence]:
+    """Derive ``n`` independent child :class:`~numpy.random.SeedSequence`\\ s.
+
+    The raw form of :func:`spawn`: seed sequences are tiny and picklable, so
+    the execution backends ship *these* to worker processes and build the
+    generators worker-side.  Spawning is cumulative on the parent — child
+    ``i`` is the same whether the children are requested one by one or in a
+    single call, which is what makes trial streams independent of batch
+    partitioning.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    parent = ensure_rng(rng)
+    return parent.bit_generator.seed_seq.spawn(n)  # type: ignore[union-attr]
+
+
 def spawn(rng: RngLike, n: int) -> list[np.random.Generator]:
     """Derive ``n`` statistically independent child generators.
 
@@ -45,11 +61,7 @@ def spawn(rng: RngLike, n: int) -> list[np.random.Generator]:
     harness to give every trial its own stream (trial ``i`` is reproducible
     regardless of how many trials run).
     """
-    if n < 0:
-        raise ValueError(f"cannot spawn {n} generators")
-    parent = ensure_rng(rng)
-    seqs = parent.bit_generator.seed_seq.spawn(n)  # type: ignore[union-attr]
-    return [np.random.default_rng(s) for s in seqs]
+    return [np.random.default_rng(s) for s in spawn_seeds(rng, n)]
 
 
 def derive_seed(rng: RngLike) -> int:

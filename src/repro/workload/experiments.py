@@ -10,6 +10,14 @@ Series labels are stable strings the tests and EXPERIMENTS.md key on:
 * Figure 6 — ``static[2.5-hop]``, ``static[3-hop]``, ``mo-cds``;
 * Figure 7 — ``dynamic[2.5-hop]``, ``dynamic[3-hop]``, ``mo-cds``;
 * Figure 8 — the static and dynamic labels together.
+
+Network samples come from the cross-experiment scenario cache
+(:mod:`repro.exec.scenarios`), keyed by ``(env.seed, d, n, trial index)``
+alone — so every figure driver sees the *same* connected sample (and shares
+its memoized clustering) at the same environment point, and only the
+figure's own randomness (the broadcast source) comes from its trial stream.
+Trials are described by picklable :class:`~repro.exec.spec.TrialSpec`\\ s, so
+any driver runs on the ``process`` backend unchanged.
 """
 
 from __future__ import annotations
@@ -19,14 +27,15 @@ from typing import Callable, Dict, Mapping
 import numpy as np
 
 from repro.backbone.mo_cds import build_mo_cds
-from repro.backbone.static_backbone import Backbone, build_static_backbone
+from repro.backbone.static_backbone import build_static_backbone
 from repro.broadcast.flooding import blind_flooding
 from repro.broadcast.sd_cds import broadcast_sd
 from repro.broadcast.si_cds import broadcast_si
-from repro.cluster.lowest_id import lowest_id_clustering
 from repro.cluster.state import ClusterStructure
-from repro.coverage.policy import compute_all_coverage_sets
-from repro.graph.generators import random_geometric_network
+from repro.errors import ConfigurationError
+from repro.exec.backends import BackendLike
+from repro.exec.scenarios import connected_scenario
+from repro.exec.spec import IndexedTrialFn, TrialSpec
 from repro.graph.network import Network
 from repro.metrics.series import ExperimentSeries, SeriesTable
 from repro.rng import spawn
@@ -48,16 +57,68 @@ SampleMetricsFn = Callable[
 ]
 
 
+#: Registry of figure metric functions, addressable by name so a
+#: :class:`TrialSpec` can reference them across process boundaries.
+_METRICS: Dict[str, SampleMetricsFn] = {}
+
+
+def _register_metrics(name: str, fn: SampleMetricsFn) -> SampleMetricsFn:
+    _METRICS[name] = fn
+    return fn
+
+
+def make_figure_trial(
+    *,
+    metrics: str,
+    n: int,
+    degree: float,
+    width: float,
+    height: float,
+    scenario_root: int,
+) -> IndexedTrialFn:
+    """Trial-spec factory for the figure drivers (resolved worker-side).
+
+    The trial's network (and clustering) come from the scenario cache keyed
+    by ``(scenario_root, n, degree, area, index)`` — shared across figures;
+    the broadcast source is the only draw from the trial's own stream.
+    """
+    metrics_fn = _METRICS.get(metrics)
+    if metrics_fn is None:
+        raise ConfigurationError(
+            f"unknown figure metrics {metrics!r}; expected one of "
+            f"{sorted(_METRICS)}"
+        )
+    from repro.geometry.area import Area
+
+    area = Area(width, height)
+
+    def trial(index: int, gen: np.random.Generator) -> Mapping[str, float]:
+        scenario = connected_scenario(
+            n, degree, area=area, root=scenario_root, index=index
+        )
+        net = scenario.network
+        source = int(gen.choice(net.graph.nodes()))
+        return metrics_fn(net, scenario.clustering, source)
+
+    return trial
+
+
 def _run_figure(
     env: PaperEnvironment,
     title_fmt: str,
-    metrics_fn: SampleMetricsFn,
+    metrics_name: str,
     figure_seed_offset: int,
+    *,
+    backend: BackendLike = None,
+    parallel: int = 1,
 ) -> Dict[float, SeriesTable]:
     """Shared sweep driver: for each (d, n) run paired trials to convergence."""
     tables: Dict[float, SeriesTable] = {}
     # Derive one independent stream per (figure, degree, n) point so any
-    # point is reproducible in isolation.
+    # point is reproducible in isolation.  Network samples do NOT come from
+    # these streams — they are keyed by (env.seed, d, n, trial index) in the
+    # scenario cache, figure-independent — only the per-trial source draw
+    # does.
     point_streams = spawn(
         env.seed + figure_seed_offset, len(env.degrees) * len(env.ns)
     )
@@ -67,22 +128,24 @@ def _run_figure(
         series: Dict[str, ExperimentSeries] = {}
         for n in env.ns:
             stream = next(stream_iter)
-
-            def trial(gen: np.random.Generator) -> Mapping[str, float]:
-                net = random_geometric_network(
-                    n, d, area=env.area, rng=gen
-                )
-                clustering = lowest_id_clustering(net.graph)
-                source = int(gen.choice(net.graph.nodes()))
-                return metrics_fn(net, clustering, source)
-
+            spec = TrialSpec.create(
+                "repro.workload.experiments:make_figure_trial",
+                metrics=metrics_name,
+                n=int(n),
+                degree=float(d),
+                width=float(env.area.width),
+                height=float(env.area.height),
+                scenario_root=int(env.seed),
+            )
             outcome = paired_trials(
-                trial,
+                spec=spec,
                 confidence=env.confidence,
                 target=env.target,
                 min_samples=env.min_samples,
                 max_samples=env.max_samples,
                 rng=stream,
+                backend=backend,
+                parallel=parallel,
             )
             for label, ci in outcome.estimates.items():
                 if label not in series:
@@ -108,14 +171,23 @@ def _fig6_metrics(net: Network, clustering: ClusterStructure,
     }
 
 
-def run_fig6(env: PaperEnvironment = PaperEnvironment()) -> Dict[float, SeriesTable]:
+_register_metrics("fig6", _fig6_metrics)
+
+
+def run_fig6(
+    env: PaperEnvironment = PaperEnvironment(),
+    *,
+    backend: BackendLike = None,
+    parallel: int = 1,
+) -> Dict[float, SeriesTable]:
     """Figure 6: average size of the CDS — static backbone vs MO_CDS.
 
     Returns:
         Mapping average degree -> series table (sub-figures (a) and (b)).
     """
     return _run_figure(
-        env, "Figure 6 (d={d:g}): average CDS size", _fig6_metrics, 600
+        env, "Figure 6 (d={d:g}): average CDS size", "fig6", 600,
+        backend=backend, parallel=parallel,
     )
 
 
@@ -139,10 +211,19 @@ def _fig7_metrics(net: Network, clustering: ClusterStructure,
     }
 
 
-def run_fig7(env: PaperEnvironment = PaperEnvironment()) -> Dict[float, SeriesTable]:
+_register_metrics("fig7", _fig7_metrics)
+
+
+def run_fig7(
+    env: PaperEnvironment = PaperEnvironment(),
+    *,
+    backend: BackendLike = None,
+    parallel: int = 1,
+) -> Dict[float, SeriesTable]:
     """Figure 7: average forward-node-set size — dynamic backbone vs MO_CDS."""
     return _run_figure(
-        env, "Figure 7 (d={d:g}): average forward-node-set size", _fig7_metrics, 700
+        env, "Figure 7 (d={d:g}): average forward-node-set size", "fig7", 700,
+        backend=backend, parallel=parallel,
     )
 
 
@@ -167,11 +248,19 @@ def _fig8_metrics(net: Network, clustering: ClusterStructure,
     }
 
 
-def run_fig8(env: PaperEnvironment = PaperEnvironment()) -> Dict[float, SeriesTable]:
+_register_metrics("fig8", _fig8_metrics)
+
+
+def run_fig8(
+    env: PaperEnvironment = PaperEnvironment(),
+    *,
+    backend: BackendLike = None,
+    parallel: int = 1,
+) -> Dict[float, SeriesTable]:
     """Figure 8: forward-node-set size — static vs dynamic backbones."""
     return _run_figure(
         env, "Figure 8 (d={d:g}): static vs dynamic forward-node-set size",
-        _fig8_metrics, 800,
+        "fig8", 800, backend=backend, parallel=parallel,
     )
 
 
@@ -190,10 +279,17 @@ def _flooding_metrics(net: Network, clustering: ClusterStructure,
     }
 
 
+_register_metrics("flooding", _flooding_metrics)
+
+
 def run_flooding_comparison(
     env: PaperEnvironment = PaperEnvironment(),
+    *,
+    backend: BackendLike = None,
+    parallel: int = 1,
 ) -> Dict[float, SeriesTable]:
     """Ablation: how much redundancy the backbones remove vs blind flooding."""
     return _run_figure(
-        env, "Ablation (d={d:g}): flooding vs backbones", _flooding_metrics, 900
+        env, "Ablation (d={d:g}): flooding vs backbones", "flooding", 900,
+        backend=backend, parallel=parallel,
     )

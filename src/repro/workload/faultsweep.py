@@ -7,33 +7,37 @@ and compares the plain backbone broadcasts against their reliable
 (ACK/retransmit + backbone-fallback) variants from
 :mod:`repro.faults.reliable`.
 
-Every trial is paired: all five protocols run over the same sampled
-network, the same fault schedule, and the same channel-loss stream, so the
-curves differ only by protocol.  Per-trial randomness comes exclusively
-from the generator handed to the trial function, which makes the sweep
-bit-deterministic — same seed, same results — and, for ``parallel >= 2``,
-independent of the worker count (trial ``i`` always consumes spawned child
-stream ``i``; see :func:`repro.workload.trials.paired_trials`).
-``parallel=1`` is the serial reference stream and differs from the spawned
-streams by design.
+Every trial is paired twice over: all five protocols run over the same
+sampled network, the same fault schedule, and the same channel-loss stream
+(so the curves differ only by protocol), and all *loss points* of one sweep
+share the same network samples through the cross-experiment scenario cache
+(:mod:`repro.exec.scenarios`) — the loss axis is measured on identical
+topologies, not resampled per point.  Trials are described by a picklable
+:class:`~repro.exec.spec.TrialSpec`, so the sweep runs on any execution
+backend; trial ``i`` always consumes spawned child stream ``i`` and the
+results are bit-identical across backends and worker counts (see
+:func:`repro.workload.trials.paired_trials`).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
 from repro.backbone.static_backbone import build_static_backbone
 from repro.broadcast.sd_cds import broadcast_sd
 from repro.cluster.lowest_id import lowest_id_clustering
+from repro.cluster.state import ClusterStructure
+from repro.exec.backends import BackendLike
+from repro.exec.scenarios import connected_scenario
+from repro.exec.spec import IndexedTrialFn, TrialSpec
 from repro.faults.injector import FaultInjector
 from repro.faults.reliable import reliable_sd, reliable_si
 from repro.faults.schedule import FaultSchedule, apply_schedule, random_schedule
 from repro.graph.adjacency import Graph
-from repro.graph.generators import random_geometric_network
 from repro.protocols.broadcast import DistributedSIBroadcast
 from repro.rng import RngLike, derive_seed, ensure_rng
 from repro.sim.network import SimNetwork
@@ -101,6 +105,7 @@ def run_fault_sweep(
     horizon: float = 10.0,
     max_retries: int = 5,
     parallel: int = 1,
+    backend: BackendLike = None,
     rng: RngLike = None,
 ) -> List[FaultSweepPoint]:
     """Sweep channel loss under a per-trial random fault schedule.
@@ -111,41 +116,45 @@ def run_fault_sweep(
         average_degree: Density of the sampled networks.
         trials: Paired trials per point (fixed count — the sequential
             stopping rule is deliberately bypassed so the sweep is
-            bit-deterministic across ``parallel`` worker counts).
+            bit-deterministic across backends and worker counts).
         crash_fraction: Fraction of nodes crashed by each trial's schedule
             (the source is protected; 0 disables crash faults).
         horizon: Crash times fall uniformly in ``[0, horizon)``.
         max_retries: Retry budget of the reliable variants.
         parallel: Worker count handed to
             :func:`~repro.workload.trials.paired_trials`.
+        backend: Execution backend (``"serial"`` / ``"thread"`` /
+            ``"process"`` or an instance); results are identical whichever
+            is chosen.
         rng: Seed or generator.
 
     Returns:
         One :class:`FaultSweepPoint` per loss probability.
     """
     generator = ensure_rng(rng)
+    # One scenario root for the whole sweep: every loss point sees the SAME
+    # connected samples (drawn once, cached), so the loss axis is paired.
+    scenario_root = derive_seed(generator)
     points: List[FaultSweepPoint] = []
     for loss in losses:
         point_rng = ensure_rng(derive_seed(generator))
-
-        def trial(trial_rng: np.random.Generator,
-                  loss: float = loss) -> Dict[str, float]:
-            return _fault_trial(
-                trial_rng,
-                loss=loss,
-                n=n,
-                average_degree=average_degree,
-                crash_fraction=crash_fraction,
-                horizon=horizon,
-                max_retries=max_retries,
-            )
-
+        spec = TrialSpec.create(
+            "repro.workload.faultsweep:make_fault_trial",
+            loss=float(loss),
+            n=int(n),
+            average_degree=float(average_degree),
+            crash_fraction=float(crash_fraction),
+            horizon=float(horizon),
+            max_retries=int(max_retries),
+            scenario_root=int(scenario_root),
+        )
         outcome = paired_trials(
-            trial,
+            spec=spec,
             min_samples=trials,
             max_samples=trials,
             rng=point_rng,
             parallel=parallel,
+            backend=backend,
         )
         delivery: Dict[str, float] = {}
         overhead: Dict[str, float] = {}
@@ -164,8 +173,7 @@ def run_fault_sweep(
     return points
 
 
-def _fault_trial(
-    rng: np.random.Generator,
+def make_fault_trial(
     *,
     loss: float,
     n: int,
@@ -173,26 +181,37 @@ def _fault_trial(
     crash_fraction: float,
     horizon: float,
     max_retries: int,
-) -> Dict[str, float]:
-    """One paired trial: all protocols over one (network, schedule, seeds).
+    scenario_root: int,
+) -> IndexedTrialFn:
+    """Trial-spec factory: all protocols over one (network, schedule, seeds).
 
-    All randomness is drawn from ``rng`` up front, in a fixed order, so the
-    trial is a pure function of its generator state.
+    The trial's network (and its memoized clustering) come from the scenario
+    cache keyed by ``(scenario_root, n, average_degree, index)`` — shared by
+    every loss point of the sweep.  Everything else (source, schedule,
+    channel and fault streams) is drawn from the trial's own generator in a
+    fixed order, so the trial is a pure function of ``(index, generator)``.
     """
-    network = random_geometric_network(n, average_degree, rng=rng)
-    graph = network.graph
-    source = int(rng.choice(graph.nodes()))
-    schedule = random_schedule(
-        graph,
-        horizon=horizon,
-        crash_fraction=crash_fraction,
-        protect=(source,),
-        rng=rng,
-    )
-    return run_fault_scenario(
-        graph, source, schedule,
-        loss=loss, rng=rng, max_retries=max_retries,
-    )
+
+    def trial(index: int, gen: np.random.Generator) -> Dict[str, float]:
+        scenario = connected_scenario(
+            n, average_degree, root=scenario_root, index=index
+        )
+        graph = scenario.network.graph
+        source = int(gen.choice(graph.nodes()))
+        schedule = random_schedule(
+            graph,
+            horizon=horizon,
+            crash_fraction=crash_fraction,
+            protect=(source,),
+            rng=gen,
+        )
+        return run_fault_scenario(
+            graph, source, schedule,
+            loss=loss, rng=gen, max_retries=max_retries,
+            structure=scenario.clustering,
+        )
+
+    return trial
 
 
 def run_fault_scenario(
@@ -203,6 +222,7 @@ def run_fault_scenario(
     loss: float = 0.0,
     rng: RngLike = None,
     max_retries: int = 5,
+    structure: Optional[ClusterStructure] = None,
 ) -> Dict[str, float]:
     """Run every protocol once over one fixed ``(graph, schedule)`` pair.
 
@@ -210,6 +230,11 @@ def run_fault_scenario(
     ``repro faults --schedule`` CLI path: hand it a concrete
     :class:`~repro.faults.schedule.FaultSchedule` (e.g. loaded from JSON)
     and get the per-protocol metrics for exactly that scenario.
+
+    Args:
+        structure: Pre-computed clustering of ``graph``; pass the cached
+            scenario clustering to avoid recomputing it per trial.  Computed
+            here when ``None``.
 
     Returns:
         ``{"delivery/<protocol>": ..., "overhead/<protocol>": ...,
@@ -220,7 +245,8 @@ def run_fault_scenario(
     n = graph.num_nodes
     loss_seed = derive_seed(rng)  # same channel stream for every protocol
     fault_seed = derive_seed(rng)  # ... and the same window-draw stream
-    structure = lowest_id_clustering(graph)
+    if structure is None:
+        structure = lowest_id_clustering(graph)
     static = build_static_backbone(structure)
     sd_plan = broadcast_sd(structure, source).result.forward_nodes
     eligible = eligible_nodes(graph, source, set(schedule.crashed_nodes()))
@@ -279,6 +305,7 @@ __all__ = [
     "PROTOCOLS",
     "FaultSweepPoint",
     "eligible_nodes",
+    "make_fault_trial",
     "run_fault_scenario",
     "run_fault_sweep",
 ]

@@ -21,13 +21,12 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.broadcast.passive_clustering import broadcast_passive_clustering
-from repro.cluster.lowest_id import lowest_id_clustering
-from repro.graph.generators import random_geometric_network
+from repro.exec.scenarios import connected_scenario
 from repro.protocols.broadcast import DistributedSDBroadcast, DistributedSIBroadcast
 from repro.protocols.clustering import DistributedLowestIdClustering
 from repro.protocols.coverage import CoverageExchangeProtocol
 from repro.protocols.hello import HelloProtocol
-from repro.rng import RngLike, ensure_rng
+from repro.rng import RngLike, derive_seed, ensure_rng
 from repro.sim.network import SimNetwork
 from repro.types import CoveragePolicy, NodeId
 
@@ -85,12 +84,17 @@ def run_robustness_sweep(
     """
     generator = ensure_rng(rng)
     points: List[RobustnessPoint] = []
-    # One fixed network batch reused across loss points (paired design).
+    # One fixed scenario batch reused across loss points (paired design);
+    # the samples come from the cross-experiment scenario cache, so other
+    # sweeps over the same derived root reuse them too.
+    scenario_root = derive_seed(generator)
     batch = []
     for t in range(trials):
-        net = random_geometric_network(n, average_degree, rng=generator)
-        source = int(generator.choice(net.graph.nodes()))
-        batch.append((net, source))
+        scenario = connected_scenario(
+            n, average_degree, root=scenario_root, index=t
+        )
+        source = int(generator.choice(scenario.network.graph.nodes()))
+        batch.append((scenario, source))
     for loss in losses:
         delivery: Dict[str, List[float]] = {}
         forwards: Dict[str, List[float]] = {}
@@ -102,21 +106,22 @@ def run_robustness_sweep(
             delivery.setdefault(label, []).append(delivered)
             forwards.setdefault(label, []).append(result.num_forward_nodes)
 
-        for net, source in batch:
+        for scenario, source in batch:
+            graph = scenario.network.graph
             loss_rng = ensure_rng(int(generator.integers(0, 2**32)))
             sim_net, _clustering, coverage = _lossy_network(
-                net.graph, loss, loss_rng
+                graph, loss, loss_rng
             )
             # Flooding: SI broadcast with the full node set as the CDS.
-            flood = DistributedSIBroadcast(sim_net, net.graph.nodes())
+            flood = DistributedSIBroadcast(sim_net, graph.nodes())
             flood.start(source)
             sim_net.run_phase()
             record("flooding", flood.result())
-            # Static backbone (recomputed centrally; membership only).
+            # Static backbone (centrally, on the scenario's cached
+            # clustering; membership only).
             from repro.backbone.static_backbone import build_static_backbone
 
-            clustering = lowest_id_clustering(net.graph)
-            static = build_static_backbone(clustering)
+            static = build_static_backbone(scenario.clustering)
             si = DistributedSIBroadcast(sim_net, static.nodes)
             si.start(source)
             sim_net.run_phase()
@@ -130,7 +135,7 @@ def run_robustness_sweep(
             # included as the paper's delivery-rate cautionary tale.
             if loss == 0.0:
                 record("passive", broadcast_passive_clustering(
-                    net.graph, source
+                    graph, source
                 ).result)
         points.append(
             RobustnessPoint(

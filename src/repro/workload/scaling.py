@@ -21,12 +21,12 @@ from repro.backbone.static_backbone import build_static_backbone
 from repro.broadcast.sd_cds import broadcast_sd
 from repro.cluster.lowest_id import lowest_id_clustering
 from repro.coverage.policy import compute_all_coverage_sets
+from repro.exec.scenarios import scenario_positions
 from repro.geometry.area import Area
 from repro.geometry.disk import range_for_target_degree
-from repro.geometry.placement import uniform_placement
 from repro.graph.build import unit_disk_graph
 from repro.graph.connectivity import connected_components
-from repro.rng import RngLike, ensure_rng
+from repro.rng import RngLike, derive_seed, ensure_rng
 from repro.types import CoveragePolicy
 
 
@@ -83,13 +83,19 @@ def run_scaling_study(
         One :class:`ScalingPoint` per size.
     """
     generator = ensure_rng(rng)
+    # Placements (the only random ingredient) are cached per (n, area,
+    # root): repeat runs skip re-drawing while every pipeline stage below
+    # is still built — and timed — from scratch.  Built networks are
+    # deliberately NOT cached here; that would zero the very measurements
+    # this study exists for.
+    scenario_root = derive_seed(generator)
     points: List[ScalingPoint] = []
     for n in ns:
         # Fixed density: area scales linearly with n.
         side = 100.0 * (n / 100.0) ** 0.5
         area = Area(side, side)
         radius = range_for_target_degree(n, average_degree, area)
-        pts = uniform_placement(n, area, generator)
+        pts = scenario_positions(n, area, root=scenario_root)
 
         t0 = time.perf_counter()
         graph = unit_disk_graph(pts, radius)

@@ -21,13 +21,12 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.backbone.static_backbone import build_static_backbone
-from repro.cluster.lowest_id import lowest_id_clustering
-from repro.graph.generators import random_geometric_network
+from repro.exec.scenarios import connected_scenario
 from repro.protocols.broadcast import DistributedSDBroadcast, DistributedSIBroadcast
 from repro.protocols.clustering import DistributedLowestIdClustering
 from repro.protocols.coverage import CoverageExchangeProtocol
 from repro.protocols.hello import HelloProtocol
-from repro.rng import RngLike, ensure_rng
+from repro.rng import RngLike, derive_seed, ensure_rng
 from repro.sim.medium import CollisionMedium
 from repro.sim.network import SimNetwork
 from repro.types import CoveragePolicy
@@ -95,6 +94,9 @@ def run_storm_experiment(
         One :class:`StormPoint` per degree.
     """
     generator = ensure_rng(rng)
+    # Samples come from the scenario cache (drawn once per (d, trial) and
+    # shared with any other experiment using the same derived root).
+    scenario_root = derive_seed(generator)
     points: List[StormPoint] = []
     for d in degrees:
         delivery: Dict[str, List[float]] = {}
@@ -110,11 +112,11 @@ def run_storm_experiment(
             )
             net.medium.collisions = 0
 
-        for _ in range(trials):
-            sample = random_geometric_network(n, d, rng=generator)
+        for t in range(trials):
+            scenario = connected_scenario(n, d, root=scenario_root, index=t)
+            sample = scenario.network
             source = int(generator.choice(sample.graph.nodes()))
-            clustering = lowest_id_clustering(sample.graph)
-            static = build_static_backbone(clustering)
+            static = build_static_backbone(scenario.clustering)
             # Flooding.
             net, coverage = _collision_network(sample.graph)
             flood = DistributedSIBroadcast(

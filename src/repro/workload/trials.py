@@ -6,23 +6,29 @@ the algorithms, not from sampling luck, and the paper's stopping rule is
 applied to every metric — the point is done when *all* metrics' confidence
 intervals are tight.
 
-Trials can run concurrently (``parallel=``): each trial draws from its own
-child generator spawned deterministically from the root stream, so trial
-``i`` sees the same randomness regardless of worker count or scheduling —
-the paired design and reproducibility survive parallel execution.
+Trials can run concurrently through a pluggable execution backend
+(``serial`` / ``thread`` / ``process``, see :mod:`repro.exec.backends`):
+each trial draws from its own child generator spawned deterministically from
+the root stream, results fold in trial order, and the stopping rule is
+checked after every folded trial — so the outcome is bit-identical across
+backends and worker counts, and a converged point stops submitting new
+work.  Batch sizes are adaptive: the next submission wave is projected from
+the current relative half-width instead of a fixed block, so convergence is
+not overshot by up to a full batch.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping
+from typing import Callable, Dict, Mapping, Optional
 
 import numpy as np
 
-from repro.errors import SampleBudgetExceededError
+from repro.errors import ConfigurationError, SampleBudgetExceededError
+from repro.exec.backends import BackendLike, TrialJob, as_backend
+from repro.exec.spec import TrialSpec
 from repro.metrics.confidence import ConfidenceInterval, SequentialEstimator
-from repro.rng import RngLike, ensure_rng, spawn
+from repro.rng import RngLike, ensure_rng, spawn_seeds
 
 #: A trial function: draws one sample with the given generator and returns
 #: one value per metric label.
@@ -35,7 +41,9 @@ class TrialOutcome:
 
     Attributes:
         estimates: Metric label -> confidence interval.
-        trials: Number of paired trials executed.
+        trials: Number of paired trials folded into the estimates (extra
+            trials submitted past the stopping point are discarded, so this
+            is deterministic across backends and worker counts).
         converged: Whether every metric met the stopping rule (``False`` only
             when ``strict=False`` and the budget ran out).
     """
@@ -45,9 +53,33 @@ class TrialOutcome:
     converged: bool
 
 
+def _next_wave(folded: int, estimators: Dict[str, SequentialEstimator],
+               min_samples: int, max_samples: int, workers: int) -> int:
+    """Adaptive submission-wave size.
+
+    Before ``min_samples`` the answer is exact (those trials run
+    unconditionally).  After, the wave is the projected remaining deficit
+    (see :meth:`SequentialEstimator.projected_samples`), re-evaluated at
+    most every ``4 * workers`` trials so a noisy early projection cannot
+    commit the whole budget in one go.  Wave sizing affects only how much
+    speculative work is submitted — never the estimates, which depend
+    exclusively on the fold order.
+    """
+    if folded < min_samples:
+        wave = min_samples - folded
+    else:
+        projected = max(
+            (e.projected_samples() for e in estimators.values()),
+            default=folded + 1,
+        )
+        wave = max(1, projected - folded)
+    return min(wave, max(4 * workers, 8), max_samples - folded)
+
+
 def paired_trials(
-    trial_fn: TrialFn,
+    trial_fn: Optional[TrialFn] = None,
     *,
+    spec: Optional[TrialSpec] = None,
     confidence: float = 0.99,
     target: float = 0.05,
     min_samples: int = 30,
@@ -55,11 +87,17 @@ def paired_trials(
     rng: RngLike = None,
     strict: bool = False,
     parallel: int = 1,
+    backend: BackendLike = None,
 ) -> TrialOutcome:
     """Run paired trials until the stopping rule holds for every metric.
 
     Args:
-        trial_fn: Produces one sample's metric values.
+        trial_fn: Produces one sample's metric values (an in-process
+            closure; serial and thread execution only).
+        spec: A picklable :class:`~repro.exec.spec.TrialSpec` alternative to
+            ``trial_fn`` — required for the process backend, accepted by
+            all of them.  Exactly one of ``trial_fn`` / ``spec`` must be
+            given.
         confidence: CI confidence level (paper: 0.99).
         target: Relative half-width target (paper: ±5%).
         min_samples: Trials before convergence may be declared.
@@ -69,22 +107,35 @@ def paired_trials(
             :class:`~repro.errors.SampleBudgetExceededError` when the budget
             runs out; otherwise return the best-effort estimates with
             ``converged=False``.
-        parallel: Worker count for concurrent trial execution (via
-            ``concurrent.futures``).  With ``parallel > 1`` every trial
-            gets its own child generator spawned from ``rng`` (see
-            :func:`repro.rng.spawn`), results are folded into the
-            estimators in trial order, and the stopping rule is checked at
-            batch boundaries — so the outcome is deterministic for a given
-            seed and independent of scheduling, though the trial streams
-            (and hence the exact estimates) differ from the serial path,
-            which threads one generator through all trials.  ``trial_fn``
-            must be safe to call concurrently.
+        parallel: Worker count for the pooled backends.
+        backend: ``"serial"`` / ``"thread"`` / ``"process"``, an
+            :class:`~repro.exec.backends.ExecutionBackend` instance, or
+            ``None`` for the backward-compatible default (legacy serial
+            path when ``parallel == 1`` and ``trial_fn`` is given; thread
+            pool otherwise).
+
+            **Choosing one:** the trial pipeline is pure Python and
+            GIL-bound, so the thread backend yields near-zero speedup on
+            CPU-bound trials — it exists for trial functions that release
+            the GIL.  For real multi-core execution use
+            ``backend="process"`` with a ``spec``.  All explicit backends
+            share one stream contract — trial ``i`` consumes spawned child
+            stream ``i``, results fold in trial order, and the stopping
+            rule is checked per folded trial — so their estimates are
+            **bit-identical** across backends and worker counts.  The
+            legacy ``parallel=1`` closure path instead threads one
+            generator through all trials and differs from the spawned
+            streams by design.
 
     Returns:
         The :class:`TrialOutcome`.
     """
     if parallel < 1:
         raise ValueError(f"parallel must be >= 1, got {parallel}")
+    if (trial_fn is None) == (spec is None):
+        raise ConfigurationError(
+            "exactly one of trial_fn / spec must be provided"
+        )
     generator = ensure_rng(rng)
     estimators: Dict[str, SequentialEstimator] = {}
 
@@ -100,38 +151,42 @@ def paired_trials(
                 )
             est.add(float(value))
 
+    def all_converged(folded: int) -> bool:
+        return folded >= min_samples and all(
+            e.converged() for e in estimators.values()
+        )
+
     trials = 0
-    if parallel == 1:
+    converged = False
+    if trial_fn is not None and backend is None and parallel == 1:
+        # Legacy serial path: one generator threaded through all trials.
         while True:
             fold(trial_fn(generator))
             trials += 1
-            if trials >= min_samples and all(
-                e.converged() for e in estimators.values()
-            ):
+            if all_converged(trials):
                 converged = True
                 break
             if trials >= max_samples:
-                converged = False
                 break
     else:
-        with ThreadPoolExecutor(max_workers=parallel) as pool:
-            converged = False
-            while True:
-                batch = min(parallel, max_samples - trials)
-                streams = spawn(generator, batch)
-                results: List[Mapping[str, float]] = list(
-                    pool.map(trial_fn, streams)
-                )
-                for values in results:  # trial order: determinism
-                    fold(values)
-                trials += batch
-                if trials >= min_samples and all(
-                    e.converged() for e in estimators.values()
-                ):
+        workers = max(1, parallel)
+        executor = as_backend(backend, workers)
+        job = TrialJob(spec=spec) if spec is not None else TrialJob(fn=trial_fn)
+        while not converged and trials < max_samples:
+            wave = _next_wave(trials, estimators, min_samples, max_samples,
+                              workers)
+            seeds = spawn_seeds(generator, wave)
+            results = executor.run_wave(job, trials, seeds)
+            for values in results:  # fold in trial order: determinism
+                fold(values)
+                trials += 1
+                if all_converged(trials):
+                    # Later results of this wave are speculative overshoot;
+                    # discarding them keeps the outcome independent of wave
+                    # partitioning, and no further waves are submitted.
                     converged = True
                     break
                 if trials >= max_samples:
-                    converged = False
                     break
     if strict and not converged:
         worst = max(

@@ -1,0 +1,170 @@
+"""Tests for the execution backends and the trial-spec plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.exec.backends import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    TrialJob,
+    as_backend,
+    shared_backend,
+)
+from repro.exec.spec import TrialSpec, resolve_cached
+from repro.workload.trials import paired_trials
+
+#: A real, importable spec factory (workers must be able to import it).
+FIG6_SPEC = TrialSpec.create(
+    "repro.workload.experiments:make_figure_trial",
+    metrics="fig6", n=20, degree=8.0, width=100.0, height=100.0,
+    scenario_root=42,
+)
+
+
+class TestTrialSpec:
+    def test_kwargs_are_order_independent(self):
+        a = TrialSpec.create("m:f", x=1, y=2)
+        b = TrialSpec.create("m:f", y=2, x=1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_task_needs_module_and_factory(self):
+        with pytest.raises(ConfigurationError):
+            TrialSpec.create("no_colon_here")
+
+    def test_resolve_unknown_module_raises(self):
+        spec = TrialSpec.create("repro.definitely_missing:factory")
+        with pytest.raises(ConfigurationError):
+            spec.resolve()
+
+    def test_resolve_unknown_attribute_raises(self):
+        spec = TrialSpec.create("repro.workload.experiments:not_a_factory")
+        with pytest.raises(ConfigurationError):
+            spec.resolve()
+
+    def test_resolve_cached_returns_same_callable(self):
+        assert resolve_cached(FIG6_SPEC) is resolve_cached(FIG6_SPEC)
+
+    def test_spec_round_trips_through_pickle(self):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(FIG6_SPEC)) == FIG6_SPEC
+
+
+class TestTrialJob:
+    def test_needs_exactly_one_of_spec_and_fn(self):
+        with pytest.raises(ConfigurationError):
+            TrialJob()
+        with pytest.raises(ConfigurationError):
+            TrialJob(spec=FIG6_SPEC, fn=lambda gen: {"m": 0.0})
+
+    def test_fn_job_ignores_index(self):
+        job = TrialJob(fn=lambda gen: {"m": float(gen.integers(10))})
+        rng = np.random.default_rng(0)
+        out = job.call(99, rng)
+        assert set(out) == {"m"}
+
+
+class TestBackendSelection:
+    def test_none_maps_to_serial_then_thread(self):
+        assert isinstance(as_backend(None, 1), SerialBackend)
+        assert isinstance(as_backend(None, 4), ThreadBackend)
+
+    def test_instances_pass_through(self):
+        b = SerialBackend()
+        assert as_backend(b, 8) is b
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            as_backend("gpu", 2)
+
+    def test_shared_pools_are_memoized_per_worker_count(self):
+        a = shared_backend("thread", 2)
+        b = shared_backend("thread", 2)
+        c = shared_backend("thread", 3)
+        assert a is b
+        assert a is not c
+
+    def test_shared_serial_is_fresh(self):
+        assert shared_backend("serial") is not shared_backend("serial")
+
+
+class TestProcessBackend:
+    def test_closure_cannot_cross_the_boundary(self):
+        with pytest.raises(ConfigurationError, match="TrialSpec"):
+            paired_trials(
+                lambda gen: {"m": 1.0},
+                min_samples=2, max_samples=2, rng=1,
+                backend="process", parallel=2,
+            )
+
+    def test_worker_count_does_not_change_estimates(self):
+        kw = dict(spec=FIG6_SPEC, min_samples=10, max_samples=10, rng=3)
+        reference = paired_trials(backend="process", parallel=2, **kw)
+        other = paired_trials(backend="process", parallel=4, **kw)
+        assert reference == other
+        assert reference.trials == 10
+
+    def test_process_matches_serial_and_thread_bit_for_bit(self):
+        kw = dict(spec=FIG6_SPEC, min_samples=8, max_samples=40, rng=11)
+        serial = paired_trials(backend="serial", **kw)
+        thread = paired_trials(backend="thread", parallel=3, **kw)
+        process = paired_trials(backend="process", parallel=2, **kw)
+        assert serial == thread == process
+
+    def test_isolated_pool_close_is_idempotent(self):
+        backend = ProcessBackend(2)
+        backend.close()
+        backend.close()
+
+
+class TestAdaptiveStopping:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        min_samples=st.integers(2, 12),
+        extra=st.integers(0, 20),
+        noise=st.floats(0.0, 5.0),
+        workers=st.integers(1, 5),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_budget_and_minimum_are_respected(
+        self, min_samples, extra, noise, workers, seed
+    ):
+        """Adaptive waves never exceed max_samples nor converge early."""
+        max_samples = min_samples + extra
+
+        def trial(gen):
+            return {"m": 10.0 + noise * float(gen.standard_normal())}
+
+        outcome = paired_trials(
+            trial, min_samples=min_samples, max_samples=max_samples,
+            rng=seed, parallel=workers, backend="serial",
+        )
+        assert outcome.trials <= max_samples
+        assert outcome.trials >= min(min_samples, max_samples)
+        if outcome.converged:
+            assert outcome.trials >= min_samples
+
+    def test_zero_noise_stops_exactly_at_min_samples(self):
+        outcome = paired_trials(
+            lambda gen: {"m": 3.0}, min_samples=5, max_samples=500,
+            rng=0, backend="serial",
+        )
+        assert outcome.converged
+        assert outcome.trials == 5
+
+    def test_strict_budget_exhaustion_raises(self):
+        from repro.errors import SampleBudgetExceededError
+
+        def wild(gen):
+            return {"m": float(gen.standard_normal()) * 100.0}
+
+        with pytest.raises(SampleBudgetExceededError):
+            paired_trials(
+                wild, min_samples=3, max_samples=6, rng=2,
+                backend="serial", strict=True,
+            )

@@ -143,6 +143,46 @@ class TestSequentialEstimator:
         assert est.count == 2
 
 
+class TestProjectedSamples:
+    def test_before_two_samples_projects_the_minimum(self):
+        est = SequentialEstimator(min_samples=30)
+        assert est.projected_samples() == 30
+        est.add(1.0)
+        assert est.projected_samples() == 30
+
+    def test_converged_estimator_projects_no_extra_work(self):
+        est = SequentialEstimator(min_samples=5)
+        for _ in range(6):
+            est.add(100.0)
+        assert est.converged()
+        assert est.projected_samples() <= max(est.count, est.min_samples)
+
+    def test_noisy_data_projects_more_than_collected(self):
+        rng = np.random.default_rng(0)
+        est = SequentialEstimator(min_samples=5, target=0.05)
+        for _ in range(5):
+            est.add(rng.normal(10.0, 20.0))
+        assert not est.converged()
+        assert est.projected_samples() > est.count
+
+    def test_projection_is_clamped_to_the_budget(self):
+        rng = np.random.default_rng(3)
+        est = SequentialEstimator(min_samples=2, max_samples=50, target=0.001)
+        est.add(rng.normal(0.0, 100.0))
+        est.add(rng.normal(0.0, 100.0))
+        assert est.projected_samples() <= 50
+
+    def test_projection_shrinks_as_the_interval_tightens(self):
+        rng = np.random.default_rng(4)
+        est = SequentialEstimator(min_samples=5, max_samples=100_000)
+        for _ in range(5):
+            est.add(rng.normal(50.0, 10.0))
+        early = est.projected_samples()
+        for _ in range(200):
+            est.add(rng.normal(50.0, 10.0))
+        assert est.projected_samples() <= max(early, est.count)
+
+
 class TestIncompleteBeta:
     """Direct accuracy checks of the special-function layer."""
 

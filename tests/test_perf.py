@@ -1,0 +1,99 @@
+"""Tests for the per-stage performance counters."""
+
+import time
+
+import pytest
+
+from repro import perf
+
+
+@pytest.fixture(autouse=True)
+def _clean_counters():
+    was = perf.enabled()
+    perf.reset()
+    yield
+    perf.enable(was)
+    perf.reset()
+
+
+class TestDisabled:
+    def test_stage_records_nothing(self):
+        perf.enable(False)
+        with perf.stage("clustering"):
+            pass
+        assert perf.snapshot() == {}
+
+    def test_timed_passes_through(self):
+        perf.enable(False)
+
+        @perf.timed("coverage")
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2
+        assert perf.snapshot() == {}
+
+
+class TestEnabled:
+    def test_calls_and_seconds_accumulate(self):
+        perf.enable()
+        for _ in range(3):
+            with perf.stage("selection"):
+                time.sleep(0.001)
+        snap = perf.snapshot()
+        assert snap["selection"]["calls"] == 3
+        assert snap["selection"]["seconds"] > 0.0
+
+    def test_nested_stages_attribute_exclusively(self):
+        perf.enable()
+        with perf.stage("outer"):
+            time.sleep(0.02)
+            with perf.stage("inner"):
+                time.sleep(0.02)
+        snap = perf.snapshot()
+        # The outer stage's clock pauses while the inner one runs: the
+        # inner 20ms must not be double-counted into the outer stage.
+        assert snap["inner"]["seconds"] >= 0.015
+        assert 0.015 <= snap["outer"]["seconds"] < 0.035
+
+    def test_timed_decorator_counts(self):
+        perf.enable()
+
+        @perf.timed("broadcast")
+        def f():
+            return 7
+
+        assert f() == 7 and f() == 7
+        assert perf.snapshot()["broadcast"]["calls"] == 2
+
+    def test_reset_drops_everything(self):
+        perf.enable()
+        with perf.stage("placement"):
+            pass
+        perf.reset()
+        assert perf.snapshot() == {}
+
+
+class TestReport:
+    def test_render_orders_canonical_stages_first(self):
+        counters = {
+            "zeta": {"seconds": 0.1, "calls": 1},
+            "placement": {"seconds": 0.2, "calls": 2},
+            "broadcast": {"seconds": 0.3, "calls": 3},
+        }
+        report = perf.render_report(counters)
+        lines = report.splitlines()
+        assert lines[1].startswith("placement")
+        assert lines[2].startswith("broadcast")
+        assert lines[3].startswith("zeta")
+        assert lines[-1].startswith("total")
+
+    def test_pipeline_functions_report_under_their_stage(self):
+        from repro.graph.generators import random_geometric_network
+
+        perf.enable()
+        net = random_geometric_network(25, 8.0, rng=1)
+        snap = perf.snapshot()
+        assert snap["placement"]["calls"] >= 1
+        assert snap["construction"]["calls"] >= 1
+        assert net.num_nodes == 25
