@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper bench-topology bench-faults bench-parallel figures examples lint clean
+.PHONY: install test bench bench-paper bench-topology bench-faults bench-parallel chaos figures examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -27,6 +27,10 @@ bench-faults:
 
 bench-parallel:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_trials_parallel.py
+
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_chaos_exec.py tests/test_exec_supervise.py tests/test_exec_journal.py -m "slow or not slow"
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_chaos_exec.py
 
 figures:
 	$(PYTHON) -m repro.cli experiment fig6 --ci

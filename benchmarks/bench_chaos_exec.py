@@ -1,0 +1,218 @@
+"""Exec-layer chaos bench: supervised runs under injected faults.
+
+Exercises the whole resilience stack end to end and gates on the only
+metric that matters — **the estimates must not change**:
+
+* ``transient``  — an injected exception mid-wave, retried by
+  :class:`~repro.exec.supervise.SupervisedBackend`;
+* ``timeout``    — a trial sleeping past the chunk deadline, timed out,
+  the pool abandoned and the chunk re-run;
+* ``crash``      — a worker SIGKILLing itself inside a process pool, the
+  broken pool rebuilt;
+* ``kill-resume`` — a journaled subprocess run SIGKILLed mid-stream and
+  resumed from its journal (the ``tests/chaos_exec.py`` driver).
+
+Every scenario's estimates are compared against an undisturbed serial
+reference; any divergence is a determinism-contract break and fails the
+bench.  Timing is reported for visibility but deliberately not gated —
+chaos recovery time is dominated by injected sleeps and pool rebuilds.
+
+Runs standalone (CI ``chaos-smoke`` and ``make chaos``)::
+
+    PYTHONPATH=src python benchmarks/bench_chaos_exec.py --quick
+    PYTHONPATH=src python benchmarks/bench_chaos_exec.py --json
+
+It is also collected by pytest (``bench_*.py``): the hook below asserts
+the transient-retry scenario on the serial backend, which is fast enough
+for the default suite; the subprocess scenarios stay in the chaos lane.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_TESTS_DIR = Path(__file__).resolve().parent.parent / "tests"
+if str(_TESTS_DIR) not in sys.path:
+    sys.path.insert(0, str(_TESTS_DIR))  # the chaos_exec helpers/driver
+
+from repro.exec.spec import TrialSpec
+from repro.exec.supervise import SupervisedBackend
+from repro.workload.trials import paired_trials
+
+DRIVER = _TESTS_DIR / "chaos_exec.py"
+
+
+def _chaos_spec(marker_dir: str, **kwargs) -> TrialSpec:
+    return TrialSpec.create("chaos_exec:make_chaos_trial",
+                            marker_dir=marker_dir, **kwargs)
+
+
+def _reference(tmp: str, *, trials: int, seed: int):
+    ref_dir = os.path.join(tmp, "reference")
+    os.makedirs(ref_dir)
+    return paired_trials(
+        spec=_chaos_spec(ref_dir), min_samples=trials, max_samples=trials,
+        rng=seed, backend="serial",
+    )
+
+
+def _supervised_scenario(tmp: str, name: str, *, trials: int, seed: int,
+                         inner, workers: int, injection: dict,
+                         chunk_timeout=None, parallel: int = 1) -> dict:
+    """One supervised run under injection; compare against the reference."""
+    reference = _reference(os.path.join(tmp, name), trials=trials, seed=seed)
+    chaos_dir = os.path.join(tmp, name, "chaos")
+    os.makedirs(chaos_dir)
+    sup = SupervisedBackend(inner, workers=workers, retries=3,
+                            chunk_timeout=chunk_timeout, backoff_base=0.01)
+    t0 = time.perf_counter()
+    try:
+        outcome = paired_trials(
+            spec=_chaos_spec(chaos_dir, **injection),
+            min_samples=trials, max_samples=trials, rng=seed,
+            backend=sup, parallel=parallel,
+        )
+    finally:
+        sup.close()
+    elapsed = time.perf_counter() - t0
+    identical = (outcome.estimates == reference.estimates
+                 and outcome.trials == reference.trials)
+    return {
+        "scenario": name,
+        "backend": inner,
+        "trials": trials,
+        "seconds": round(elapsed, 3),
+        "events": dict(sup.event_summary()),
+        "final_backend": sup.inner.name,
+        "bit_identical": identical,
+    }
+
+
+def _kill_resume_scenario(tmp: str, *, trials: int, seed: int,
+                          crash_index: int) -> dict:
+    """SIGKILL a journaled driver subprocess mid-run, resume, compare."""
+    work = os.path.join(tmp, "kill-resume")
+    markers = os.path.join(work, "markers")
+    os.makedirs(markers)
+    journal = os.path.join(work, "run.jsonl")
+    ref_out = os.path.join(work, "reference.json")
+    res_out = os.path.join(work, "resumed.json")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(Path(__file__).resolve().parent.parent / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+
+    def drive(*extra, check=True):
+        proc = subprocess.run(
+            [sys.executable, str(DRIVER), "--journal", journal,
+             "--marker-dir", markers, "--trials", str(trials),
+             "--seed", str(seed), *extra],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        if check and proc.returncode != 0:
+            raise RuntimeError(f"chaos driver failed: {proc.stderr}")
+        return proc
+
+    drive("--no-journal", "--out", ref_out)
+    t0 = time.perf_counter()
+    first = drive("--crash-index", str(crash_index), check=False)
+    if first.returncode != -signal.SIGKILL:
+        raise RuntimeError(
+            f"expected the run to die by SIGKILL, got {first.returncode}"
+        )
+    journaled = len(Path(journal).read_text().splitlines()) - 1
+    drive("--crash-index", str(crash_index), "--resume", "--out", res_out)
+    elapsed = time.perf_counter() - t0
+    identical = (Path(res_out).read_bytes() == Path(ref_out).read_bytes())
+    return {
+        "scenario": "kill-resume",
+        "backend": "serial",
+        "trials": trials,
+        "seconds": round(elapsed, 3),
+        "events": {"sigkill": 1, "journaled_before_kill": journaled},
+        "final_backend": "serial",
+        "bit_identical": identical,
+    }
+
+
+def run_bench(*, quick: bool, seed: int) -> dict:
+    """All chaos scenarios; returns the summary document."""
+    trials = 8 if quick else 24
+    scenarios = []
+    with tempfile.TemporaryDirectory(prefix="chaos-bench-") as tmp:
+        scenarios.append(_supervised_scenario(
+            tmp, "transient-retry", trials=trials, seed=seed,
+            inner="serial", workers=1, injection={"raise_indices": (2,)},
+        ))
+        scenarios.append(_supervised_scenario(
+            tmp, "timeout-retry", trials=trials, seed=seed,
+            inner="serial", workers=1, chunk_timeout=0.3,
+            injection={"sleep_indices": (1,), "sleep_seconds": 1.5},
+        ))
+        scenarios.append(_supervised_scenario(
+            tmp, "worker-crash", trials=trials, seed=seed,
+            inner="process", workers=2, parallel=2,
+            injection={"crash_indices": (2,)},
+        ))
+        scenarios.append(_kill_resume_scenario(
+            tmp, trials=max(trials, 10), seed=seed,
+            crash_index=max(trials, 10) - 2,
+        ))
+    return {
+        "quick": quick,
+        "seed": seed,
+        "scenarios": scenarios,
+        "all_bit_identical": all(s["bit_identical"] for s in scenarios),
+    }
+
+
+def test_supervised_transient_retry_is_bit_identical(tmp_path):
+    """Pytest hook: the fast in-process chaos scenario (no subprocesses)."""
+    summary = _supervised_scenario(
+        str(tmp_path), "hook", trials=6, seed=5,
+        inner="serial", workers=1, injection={"raise_indices": (1,)},
+    )
+    assert summary["bit_identical"]
+    assert summary["events"].get("retry", 0) >= 1
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small trial counts for CI smoke (seconds)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON")
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args(argv)
+
+    summary = run_bench(quick=args.quick, seed=args.seed)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"exec chaos bench ({'quick' if summary['quick'] else 'full'})")
+        for s in summary["scenarios"]:
+            verdict = "ok " if s["bit_identical"] else "DIVERGED"
+            events = ", ".join(f"{k}={v}" for k, v in
+                               sorted(s["events"].items())) or "none"
+            print(f"  {verdict} {s['scenario']:<16} {s['seconds']:>7.3f}s "
+                  f"on {s['backend']}->{s['final_backend']}  [{events}]")
+    if not summary["all_bit_identical"]:
+        print("FAIL: a chaos scenario changed the estimates — the "
+              "determinism contract is broken")
+        return 1
+    print("OK: estimates survived every injected failure unchanged")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,15 @@
 * ``route``      — a unicast route over the backbone.
 
 All commands accept ``--seed`` for reproducibility.
+
+The long-running sweep commands (``experiment``, ``faults``) additionally
+accept the resilience flags (see docs/resilience.md): ``--journal FILE``
+writes every folded trial to a crash-safe run journal, ``--resume``
+replays an interrupted journal so the run continues bit-identically,
+``--retries N`` and ``--chunk-timeout SECONDS`` run the chosen backend
+under supervision (failed or hung wave chunks are retried with backoff,
+broken pools are rebuilt, and execution degrades process → thread →
+serial rather than aborting).
 """
 
 from __future__ import annotations
@@ -37,6 +46,59 @@ def _add_network_args(parser: argparse.ArgumentParser) -> None:
                         help="random seed")
     parser.add_argument("--load", metavar="FILE",
                         help="load a saved network instead of generating one")
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--journal", metavar="FILE",
+                        help="write folded trials to this crash-safe run "
+                             "journal (JSONL)")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay an existing journal and continue the "
+                             "run bit-identically")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="supervise execution: retry failed wave chunks "
+                             "up to N times (with pool rebuild and backoff)")
+    parser.add_argument("--chunk-timeout", type=float, default=None,
+                        help="supervise execution: per-chunk deadline in "
+                             "seconds before a chunk counts as hung")
+
+
+def _resilient_backend(args: argparse.Namespace):
+    """The (possibly supervised) backend selected by the CLI flags.
+
+    Returns ``args.backend`` untouched when no supervision flag is given,
+    otherwise a ``SupervisedBackend`` wrapping it.
+    """
+    if args.retries is None and args.chunk_timeout is None:
+        return args.backend, None
+    from repro.exec.supervise import SupervisedBackend
+
+    supervised = SupervisedBackend(
+        args.backend, workers=max(1, args.parallel),
+        retries=args.retries if args.retries is not None else 3,
+        chunk_timeout=args.chunk_timeout,
+    )
+    return supervised, supervised
+
+
+def _open_cli_journal(args: argparse.Namespace, run_key: dict):
+    """Open the ``--journal`` file (or return ``None`` without one)."""
+    from repro.errors import ConfigurationError
+    from repro.exec.journal import open_journal
+
+    if args.resume and not args.journal:
+        raise ConfigurationError("--resume requires --journal FILE")
+    return open_journal(args.journal, run_key, resume=args.resume)
+
+
+def _report_supervision(supervised) -> None:
+    """One stderr line per event kind, only when something happened."""
+    if supervised is None or not supervised.events:
+        return
+    counts = supervised.event_summary()
+    summary = ", ".join(f"{kind}: {counts[kind]}" for kind in sorted(counts))
+    print(f"supervision: {summary} (final backend: "
+          f"{supervised.inner.name})", file=sys.stderr)
 
 
 def _obtain_network(args: argparse.Namespace):
@@ -149,9 +211,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     }
     env = PaperEnvironment.quick() if args.quick else PaperEnvironment.paper()
     env = env.scaled(seed=args.seed)
-    tables = runners[args.figure](
-        env, backend=args.backend, parallel=args.parallel
-    )
+    backend, supervised = _resilient_backend(args)
+    journal = _open_cli_journal(args, {
+        "command": "experiment", "figure": args.figure,
+        "quick": bool(args.quick), "seed": args.seed,
+    })
+    try:
+        tables = runners[args.figure](
+            env, backend=backend, parallel=args.parallel, journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+        _report_supervision(supervised)
     for _d, table in sorted(tables.items()):
         print(table.render(ci=args.ci))
         print()
@@ -304,6 +376,10 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
     header = " ".join(f"{p:>12}" for p in PROTOCOLS)
     if args.schedule:
+        if args.journal or args.resume:
+            raise ConfigurationError(
+                "--journal/--resume apply to the sweep path, not --schedule"
+            )
         try:
             spec = _json.loads(open(args.schedule).read())
         except _json.JSONDecodeError as exc:
@@ -327,12 +403,23 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             print(f"{axis:>10} | {row}")
         return 0
 
-    points = run_fault_sweep(
-        losses=tuple(args.losses), n=args.nodes,
-        average_degree=args.degree, trials=args.trials,
-        crash_fraction=args.crash_fraction, rng=args.seed,
-        backend=args.backend, parallel=args.parallel,
-    )
+    backend, supervised = _resilient_backend(args)
+    journal = _open_cli_journal(args, {
+        "command": "faults", "losses": list(args.losses), "n": args.nodes,
+        "degree": args.degree, "trials": args.trials,
+        "crash_fraction": args.crash_fraction, "seed": args.seed,
+    })
+    try:
+        points = run_fault_sweep(
+            losses=tuple(args.losses), n=args.nodes,
+            average_degree=args.degree, trials=args.trials,
+            crash_fraction=args.crash_fraction, rng=args.seed,
+            backend=backend, parallel=args.parallel, journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+        _report_supervision(supervised)
     print(f"{'loss':>6} | {header}")
     for p in points:
         row = " ".join(f"{p.delivery[proto]:>12.3f}" for proto in PROTOCOLS)
@@ -444,6 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "uses real multi-core workers)")
     p.add_argument("--parallel", type=int, default=1,
                    help="worker count for the pooled backends")
+    _add_resilience_args(p)
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser(
@@ -521,6 +609,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="execution backend for the sweep (identical results)")
     p.add_argument("--parallel", type=int, default=1)
+    _add_resilience_args(p)
     p.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser("mobility", help="backbone churn under movement")

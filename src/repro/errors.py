@@ -74,6 +74,30 @@ class ExperimentError(ReproError):
     """The experiment harness could not complete a measurement."""
 
 
+class ExecutionError(ReproError):
+    """The execution layer could not complete a wave of trials."""
+
+
+class ChunkRetryExhaustedError(ExecutionError):
+    """A supervised trial chunk kept failing until its retry budget ran out."""
+
+    def __init__(self, *, chunk_start: int, chunk_size: int, attempts: int,
+                 failure: str, cause: BaseException) -> None:
+        super().__init__(
+            f"chunk [{chunk_start}, {chunk_start + chunk_size}) still failing "
+            f"({failure}) after {attempts} attempt(s): {cause!r}"
+        )
+        self.chunk_start = chunk_start
+        self.chunk_size = chunk_size
+        self.attempts = attempts
+        self.failure = failure
+        self.cause = cause
+
+
+class JournalError(ReproError):
+    """A run journal is corrupt or does not match the run being resumed."""
+
+
 class SampleBudgetExceededError(ExperimentError):
     """The sequential stopping rule did not converge within the trial budget."""
 

@@ -10,9 +10,14 @@
   trial functions resolve worker-side instead of pickling per call;
 * :mod:`repro.exec.scenarios` — the cross-experiment scenario cache that
   draws each connected network sample once and shares it between figures,
-  sweeps and fault scenarios.
+  sweeps and fault scenarios;
+* :mod:`repro.exec.supervise` — the fault-tolerant wrapper: per-chunk
+  timeouts, classified failures, retry with backoff, pool rebuilds and
+  the ``process`` → ``thread`` → ``serial`` degradation ladder;
+* :mod:`repro.exec.journal` — crash-safe run journaling (append-only
+  fsync'd JSONL) so an interrupted run resumes bit-identically.
 
-See docs/performance.md for the user-level tour.
+See docs/performance.md and docs/resilience.md for the user-level tour.
 """
 
 from repro.exec.backends import (
@@ -35,24 +40,44 @@ from repro.exec.scenarios import (
     get_scenario_cache,
     scenario_positions,
 )
+from repro.exec.journal import (
+    PointJournal,
+    RunJournal,
+    open_journal,
+)
 from repro.exec.spec import IndexedTrialFn, TrialSpec, resolve_cached
+from repro.exec.supervise import (
+    DEGRADE_ORDER,
+    FAILURE_KINDS,
+    ExecEvent,
+    SupervisedBackend,
+    classify_failure,
+)
 
 __all__ = [
     "BACKENDS",
+    "DEGRADE_ORDER",
+    "FAILURE_KINDS",
+    "ExecEvent",
     "ExecutionBackend",
     "IndexedTrialFn",
+    "PointJournal",
     "ProcessBackend",
+    "RunJournal",
     "Scenario",
     "ScenarioCache",
     "ScenarioKey",
     "SerialBackend",
+    "SupervisedBackend",
     "ThreadBackend",
     "TrialJob",
     "TrialSpec",
     "as_backend",
+    "classify_failure",
     "connected_network",
     "connected_scenario",
     "get_scenario_cache",
+    "open_journal",
     "resolve_cached",
     "scenario_positions",
     "shared_backend",

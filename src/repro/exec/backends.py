@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import atexit
 import math
+import threading
 from abc import ABC, abstractmethod
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -39,6 +40,18 @@ from repro.exec.spec import IndexedTrialFn, TrialSpec, resolve_cached
 
 #: Names accepted by :func:`as_backend` / ``paired_trials(backend=...)``.
 BACKENDS = ("serial", "thread", "process")
+
+
+def _validate_workers(workers: int) -> None:
+    """Reject non-positive worker counts before any pool is touched."""
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ConfigurationError(
+            f"workers must be an int >= 1, got {workers!r}"
+        )
+    if workers < 1:
+        raise ConfigurationError(
+            f"backend needs workers >= 1, got {workers}"
+        )
 
 
 class TrialJob:
@@ -88,6 +101,17 @@ class ExecutionBackend(ABC):
     def close(self) -> None:
         """Release pooled resources (idempotent; no-op by default)."""
 
+    def abandon(self) -> None:
+        """Discard a (possibly wedged) pool without waiting for it.
+
+        The supervision layer calls this after a worker crash or a hung
+        chunk: the current pool is written off — workers are killed where
+        the platform allows it — and the next wave transparently builds a
+        fresh one.  Defaults to :meth:`close` for backends with nothing to
+        kill.
+        """
+        self.close()
+
 
 class SerialBackend(ExecutionBackend):
     """Inline execution — the bit-exact reference for the pooled backends."""
@@ -105,21 +129,23 @@ class _PooledBackend(ExecutionBackend):
     """Shared wave logic for executor-pool backends."""
 
     def __init__(self, workers: int) -> None:
-        if workers < 1:
-            raise ConfigurationError(
-                f"backend needs workers >= 1, got {workers}"
-            )
+        _validate_workers(workers)
         self.workers = workers
         self._pool: Optional[Executor] = None
+        self._pool_lock = threading.Lock()
 
     @abstractmethod
     def _make_pool(self) -> Executor:
         ...
 
     def _ensure_pool(self) -> Executor:
-        if self._pool is None:
-            self._pool = self._make_pool()
-        return self._pool
+        # Guarded: the supervision layer runs chunks from concurrent
+        # watchdog threads, and an unlocked check-then-create would leak a
+        # second pool when two of them arrive at a rebuilt backend at once.
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = self._make_pool()
+            return self._pool
 
     def close(self) -> None:
         if self._pool is not None:
@@ -154,6 +180,17 @@ class ThreadBackend(_PooledBackend):
     def _make_pool(self) -> Executor:
         return ThreadPoolExecutor(max_workers=self.workers)
 
+    def abandon(self) -> None:
+        """Drop the pool without joining its threads.
+
+        Threads cannot be killed, so a genuinely hung trial keeps its
+        thread until the function returns; pending work is cancelled and
+        the pool reference is dropped so the next wave starts fresh.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
     def run_wave(self, job, start_index, seeds):
         pool = self._ensure_pool()
         indexed = list(enumerate(seeds, start=start_index))
@@ -176,6 +213,25 @@ class ProcessBackend(_PooledBackend):
 
     def _make_pool(self) -> Executor:
         return ProcessPoolExecutor(max_workers=self.workers)
+
+    def abandon(self) -> None:
+        """Kill the worker processes and write the pool off.
+
+        Used to reclaim a *hung* pool: killing the workers breaks the
+        executor, which promptly fails every outstanding future (so a
+        supervisor thread blocked on a wedged chunk unblocks instead of
+        waiting forever), and the dead pool is dropped for
+        :meth:`_ensure_pool` to rebuild on the next wave.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.kill()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def run_wave(self, job, start_index, seeds):
         if job.spec is None:
@@ -208,6 +264,7 @@ def shared_backend(name: str, workers: int = 1) -> ExecutionBackend:
     Shared pools are shut down at interpreter exit (or explicitly via
     :func:`shutdown_shared_backends`).
     """
+    _validate_workers(workers)
     if name == "serial":
         return SerialBackend()
     key = (name, workers)
@@ -241,6 +298,7 @@ def as_backend(backend: BackendLike, workers: int = 1) -> ExecutionBackend:
     ``None`` selects ``serial`` for one worker and ``thread`` for more —
     the backward-compatible default of ``paired_trials(parallel=)``.
     """
+    _validate_workers(workers)
     if isinstance(backend, ExecutionBackend):
         return backend
     if backend is None:

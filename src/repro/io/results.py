@@ -1,9 +1,17 @@
-"""Experiment results as CSV / JSON files."""
+"""Experiment results as CSV / JSON files.
+
+JSON documents that accumulate or gate history (the perf trajectory, sweep
+snapshots) are written atomically — serialised to a temp file in the target
+directory, fsync'd, then ``os.replace``d — so a crash mid-write can never
+truncate a previously valid file.
+"""
 
 from __future__ import annotations
 
 import csv
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Iterable, List, Union
 
@@ -15,6 +23,29 @@ from repro.workload.robustness import RobustnessPoint
 PathLike = Union[str, Path]
 
 _FIELDS = ["table", "series", "n", "mean", "half_width", "confidence", "samples"]
+
+
+def _atomic_write_text(path: PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp file + replace.
+
+    ``os.replace`` is atomic on POSIX within one filesystem, so readers
+    (and crash recovery) only ever see the old or the new complete file.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent) or ".",
+                               prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def tables_to_csv(tables: Iterable[SeriesTable], path: PathLike) -> int:
@@ -43,7 +74,7 @@ def tables_to_json(tables: Iterable[SeriesTable], path: PathLike) -> int:
     records: List[dict] = []
     for table in tables:
         records.extend(table.to_records())
-    Path(path).write_text(json.dumps(records, indent=2))
+    _atomic_write_text(path, json.dumps(records, indent=2))
     return len(records)
 
 
@@ -81,7 +112,7 @@ def robustness_to_json(points: Iterable[RobustnessPoint],
          "delivery": dict(p.delivery), "forwards": dict(p.forwards)}
         for p in points
     ]
-    Path(path).write_text(json.dumps(
+    _atomic_write_text(path, json.dumps(
         {"format": ROBUSTNESS_FORMAT, "version": _SWEEP_VERSION,
          "points": records},
         indent=2,
@@ -121,7 +152,7 @@ def fault_sweep_to_json(points: Iterable[FaultSweepPoint],
          "latency": dict(p.latency), "trials": p.trials}
         for p in points
     ]
-    Path(path).write_text(json.dumps(
+    _atomic_write_text(path, json.dumps(
         {"format": FAULT_SWEEP_FORMAT, "version": _SWEEP_VERSION,
          "points": records},
         indent=2,
@@ -189,7 +220,7 @@ def append_perf_point(path: PathLike, point: dict) -> int:
         )
     points = load_perf_trajectory(path)
     points.append(point)
-    Path(path).write_text(json.dumps(
+    _atomic_write_text(path, json.dumps(
         {"format": PERF_TRAJECTORY_FORMAT, "version": _SWEEP_VERSION,
          "points": points},
         indent=2,

@@ -22,7 +22,7 @@ any driver runs on the ``process`` backend unchanged.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping
+from typing import Callable, Dict, Mapping, Optional
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.broadcast.si_cds import broadcast_si
 from repro.cluster.state import ClusterStructure
 from repro.errors import ConfigurationError
 from repro.exec.backends import BackendLike
+from repro.exec.journal import RunJournal
 from repro.exec.scenarios import connected_scenario
 from repro.exec.spec import IndexedTrialFn, TrialSpec
 from repro.graph.network import Network
@@ -111,6 +112,7 @@ def _run_figure(
     *,
     backend: BackendLike = None,
     parallel: int = 1,
+    journal: Optional[RunJournal] = None,
 ) -> Dict[float, SeriesTable]:
     """Shared sweep driver: for each (d, n) run paired trials to convergence."""
     tables: Dict[float, SeriesTable] = {}
@@ -137,6 +139,8 @@ def _run_figure(
                 height=float(env.area.height),
                 scenario_root=int(env.seed),
             )
+            point = (journal.point(f"{metrics_name}:d={d:g}:n={n}")
+                     if journal is not None else None)
             outcome = paired_trials(
                 spec=spec,
                 confidence=env.confidence,
@@ -146,6 +150,7 @@ def _run_figure(
                 rng=stream,
                 backend=backend,
                 parallel=parallel,
+                journal=point,
             )
             for label, ci in outcome.estimates.items():
                 if label not in series:
@@ -179,6 +184,7 @@ def run_fig6(
     *,
     backend: BackendLike = None,
     parallel: int = 1,
+    journal: Optional[RunJournal] = None,
 ) -> Dict[float, SeriesTable]:
     """Figure 6: average size of the CDS — static backbone vs MO_CDS.
 
@@ -187,7 +193,7 @@ def run_fig6(
     """
     return _run_figure(
         env, "Figure 6 (d={d:g}): average CDS size", "fig6", 600,
-        backend=backend, parallel=parallel,
+        backend=backend, parallel=parallel, journal=journal,
     )
 
 
@@ -219,11 +225,12 @@ def run_fig7(
     *,
     backend: BackendLike = None,
     parallel: int = 1,
+    journal: Optional[RunJournal] = None,
 ) -> Dict[float, SeriesTable]:
     """Figure 7: average forward-node-set size — dynamic backbone vs MO_CDS."""
     return _run_figure(
         env, "Figure 7 (d={d:g}): average forward-node-set size", "fig7", 700,
-        backend=backend, parallel=parallel,
+        backend=backend, parallel=parallel, journal=journal,
     )
 
 
@@ -256,11 +263,12 @@ def run_fig8(
     *,
     backend: BackendLike = None,
     parallel: int = 1,
+    journal: Optional[RunJournal] = None,
 ) -> Dict[float, SeriesTable]:
     """Figure 8: forward-node-set size — static vs dynamic backbones."""
     return _run_figure(
         env, "Figure 8 (d={d:g}): static vs dynamic forward-node-set size",
-        "fig8", 800, backend=backend, parallel=parallel,
+        "fig8", 800, backend=backend, parallel=parallel, journal=journal,
     )
 
 
@@ -287,9 +295,10 @@ def run_flooding_comparison(
     *,
     backend: BackendLike = None,
     parallel: int = 1,
+    journal: Optional[RunJournal] = None,
 ) -> Dict[float, SeriesTable]:
     """Ablation: how much redundancy the backbones remove vs blind flooding."""
     return _run_figure(
         env, "Ablation (d={d:g}): flooding vs backbones", "flooding", 900,
-        backend=backend, parallel=parallel,
+        backend=backend, parallel=parallel, journal=journal,
     )

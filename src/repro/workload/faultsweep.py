@@ -32,6 +32,7 @@ from repro.broadcast.sd_cds import broadcast_sd
 from repro.cluster.lowest_id import lowest_id_clustering
 from repro.cluster.state import ClusterStructure
 from repro.exec.backends import BackendLike
+from repro.exec.journal import RunJournal
 from repro.exec.scenarios import connected_scenario
 from repro.exec.spec import IndexedTrialFn, TrialSpec
 from repro.faults.injector import FaultInjector
@@ -107,6 +108,7 @@ def run_fault_sweep(
     parallel: int = 1,
     backend: BackendLike = None,
     rng: RngLike = None,
+    journal: Optional[RunJournal] = None,
 ) -> List[FaultSweepPoint]:
     """Sweep channel loss under a per-trial random fault schedule.
 
@@ -127,6 +129,11 @@ def run_fault_sweep(
             ``"process"`` or an instance); results are identical whichever
             is chosen.
         rng: Seed or generator.
+        journal: An open :class:`~repro.exec.journal.RunJournal`; each
+            loss point writes its folded trials through a per-point view,
+            so an interrupted sweep resumes bit-identically (completed
+            points replay entirely from the journal, the interrupted
+            point resumes mid-stream, later points run live).
 
     Returns:
         One :class:`FaultSweepPoint` per loss probability.
@@ -148,6 +155,8 @@ def run_fault_sweep(
             max_retries=int(max_retries),
             scenario_root=int(scenario_root),
         )
+        point = (journal.point(f"faultsweep:loss={loss:g}")
+                 if journal is not None else None)
         outcome = paired_trials(
             spec=spec,
             min_samples=trials,
@@ -155,6 +164,7 @@ def run_fault_sweep(
             rng=point_rng,
             parallel=parallel,
             backend=backend,
+            journal=point,
         )
         delivery: Dict[str, float] = {}
         overhead: Dict[str, float] = {}

@@ -15,6 +15,13 @@ backends and worker counts, and a converged point stops submitting new
 work.  Batch sizes are adaptive: the next submission wave is projected from
 the current relative half-width instead of a fixed block, so convergence is
 not overshot by up to a full batch.
+
+Folded outcomes can additionally be written through a crash-safe
+:class:`~repro.exec.journal.PointJournal` (``journal=``): an interrupted
+run replays the journaled prefix and resumes bit-identically, and the
+backend can be a :class:`~repro.exec.supervise.SupervisedBackend` so worker
+crashes, hangs and transient faults are retried or degraded around rather
+than fatal (see docs/resilience.md).
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, SampleBudgetExceededError
 from repro.exec.backends import BackendLike, TrialJob, as_backend
+from repro.exec.journal import PointJournal
 from repro.exec.spec import TrialSpec
 from repro.metrics.confidence import ConfidenceInterval, SequentialEstimator
 from repro.rng import RngLike, ensure_rng, spawn_seeds
@@ -88,6 +96,7 @@ def paired_trials(
     strict: bool = False,
     parallel: int = 1,
     backend: BackendLike = None,
+    journal: Optional[PointJournal] = None,
 ) -> TrialOutcome:
     """Run paired trials until the stopping rule holds for every metric.
 
@@ -126,6 +135,17 @@ def paired_trials(
             legacy ``parallel=1`` closure path instead threads one
             generator through all trials and differs from the spawned
             streams by design.
+        journal: A :class:`~repro.exec.journal.PointJournal` to write
+            every folded trial through (crash safety) and to replay a
+            previous run's prefix from (resume).  Replayed trials come
+            from the journal, live trials from the backend, and the
+            trial-stream spawn counter is advanced past the replayed
+            prefix — so a killed-and-resumed run folds exactly the
+            sequence an uninterrupted run would have folded and the
+            estimates are bit-identical.  Journaling requires the
+            positional spawned streams, so a legacy closure call
+            (``backend=None``, ``parallel=1``) is promoted to the
+            ``serial`` backend.
 
     Returns:
         The :class:`TrialOutcome`.
@@ -136,6 +156,11 @@ def paired_trials(
         raise ConfigurationError(
             "exactly one of trial_fn / spec must be provided"
         )
+    if journal is not None and backend is None and parallel == 1:
+        # The legacy closure path threads one generator through all trials,
+        # which cannot be replayed without re-running; journaling needs the
+        # positional spawned streams of the backend path.
+        backend = "serial"
     generator = ensure_rng(rng)
     estimators: Dict[str, SequentialEstimator] = {}
 
@@ -172,12 +197,28 @@ def paired_trials(
         workers = max(1, parallel)
         executor = as_backend(backend, workers)
         job = TrialJob(spec=spec) if spec is not None else TrialJob(fn=trial_fn)
+        if journal is not None:
+            # Resume: fold the journaled prefix (trials 0..k-1) exactly as
+            # the original run folded it, then advance the spawn counter so
+            # trial k onward consumes child stream k as it always would.
+            for values in journal.replay_prefix():
+                fold(values)
+                trials += 1
+                if all_converged(trials):
+                    converged = True
+                    break
+                if trials >= max_samples:
+                    break
+            if trials:
+                spawn_seeds(generator, trials)
         while not converged and trials < max_samples:
             wave = _next_wave(trials, estimators, min_samples, max_samples,
                               workers)
             seeds = spawn_seeds(generator, wave)
             results = executor.run_wave(job, trials, seeds)
             for values in results:  # fold in trial order: determinism
+                if journal is not None:
+                    journal.record(trials, values)
                 fold(values)
                 trials += 1
                 if all_converged(trials):

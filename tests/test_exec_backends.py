@@ -168,3 +168,87 @@ class TestAdaptiveStopping:
                 wild, min_samples=3, max_samples=6, rng=2,
                 backend="serial", strict=True,
             )
+
+
+class TestWorkerValidation:
+    """Non-positive worker counts are rejected before any pool exists."""
+
+    @pytest.mark.parametrize("workers", [0, -1, -8])
+    def test_shared_backend_rejects_non_positive(self, workers):
+        with pytest.raises(ConfigurationError):
+            shared_backend("thread", workers)
+
+    @pytest.mark.parametrize("workers", [0, -1])
+    def test_as_backend_rejects_non_positive(self, workers):
+        with pytest.raises(ConfigurationError):
+            as_backend("serial", workers)
+
+    @pytest.mark.parametrize("workers", [1.5, "2", True, None])
+    def test_non_int_workers_rejected(self, workers):
+        with pytest.raises(ConfigurationError):
+            as_backend(None, workers)
+
+    @pytest.mark.parametrize("cls", [ThreadBackend, ProcessBackend])
+    def test_pooled_constructors_reject_zero(self, cls):
+        with pytest.raises(ConfigurationError):
+            cls(0)
+
+
+class TestBackendLifecycle:
+    """Pools rebuild after shutdown/abandon and close stays idempotent."""
+
+    def _wave(self, backend, n=3, start=0):
+        from repro.rng import ensure_rng, spawn_seeds
+
+        job = TrialJob(spec=FIG6_SPEC)
+        seeds = spawn_seeds(ensure_rng(0), n)
+        return backend.run_wave(job, start, seeds)
+
+    def test_shared_backend_survives_global_shutdown(self):
+        from repro.exec.backends import shutdown_shared_backends
+
+        backend = shared_backend("thread", 2)
+        first = self._wave(backend)
+        shutdown_shared_backends()
+        # The memoized instance is still usable: _ensure_pool rebuilds.
+        again = self._wave(backend)
+        assert again == first
+        backend.close()
+
+    def test_thread_pool_rebuilds_after_close(self):
+        backend = ThreadBackend(2)
+        first = self._wave(backend)
+        backend.close()
+        assert self._wave(backend) == first
+        backend.close()
+        backend.close()  # double close is a no-op
+
+    def test_thread_pool_rebuilds_after_abandon(self):
+        backend = ThreadBackend(2)
+        first = self._wave(backend)
+        backend.abandon()
+        assert backend._pool is None
+        assert self._wave(backend) == first
+        backend.close()
+
+    def test_process_pool_rebuilds_after_abandon(self):
+        backend = ProcessBackend(2)
+        try:
+            first = self._wave(backend)
+            backend.abandon()
+            assert backend._pool is None
+            assert self._wave(backend) == first
+        finally:
+            backend.close()
+            backend.close()  # double close is a no-op
+
+    def test_abandon_before_first_wave_is_harmless(self):
+        backend = ThreadBackend(1)
+        backend.abandon()
+        assert self._wave(backend, n=1)
+        backend.close()
+
+    def test_serial_abandon_is_a_no_op(self):
+        backend = SerialBackend()
+        backend.abandon()
+        assert self._wave(backend, n=1)

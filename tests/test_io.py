@@ -197,3 +197,37 @@ class TestTraceJson:
         hop1_9 = next(t for t in doc["transmissions"]
                       if t["type"] == "ChHop1" and t["sender"] == 9)
         assert sorted(hop1_9["payload"]["heads"]) == [3, 4]
+
+
+class TestAtomicWrites:
+    """Result files are replaced atomically — never observable half-written."""
+
+    def test_atomic_write_replaces_and_leaves_no_temp(self, tmp_path):
+        from repro.io.results import _atomic_write_text
+
+        target = tmp_path / "doc.json"
+        target.write_text("old contents")
+        _atomic_write_text(target, "new contents")
+        assert target.read_text() == "new contents"
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+    def test_failed_write_preserves_the_old_file(self, tmp_path):
+        from repro.io.results import _atomic_write_text
+
+        target = tmp_path / "doc.json"
+        target.write_text("precious")
+        # A non-text payload fails inside the temp-file write: the
+        # replace never happens, so the target must be untouched.
+        with pytest.raises(TypeError):
+            _atomic_write_text(target, object())
+        assert target.read_text() == "precious"
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+    def test_append_perf_point_is_atomic_and_appends(self, tmp_path):
+        from repro.io.results import append_perf_point, load_perf_trajectory
+
+        path = tmp_path / "BENCH.json"
+        assert append_perf_point(path, {"label": "a", "v": 1}) == 1
+        assert append_perf_point(path, {"label": "a", "v": 2}) == 2
+        assert [p["v"] for p in load_perf_trajectory(path)] == [1, 2]
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH.json"]
