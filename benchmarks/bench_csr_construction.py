@@ -1,0 +1,145 @@
+"""CSR pipeline throughput benchmark with a committed regression gate.
+
+Runs the array-native per-trial hot path — :func:`unit_disk_csr`
+construction, giant-component extraction, lowest-ID clustering, 2.5-hop
+coverage and batched gateway selection — at a fixed size and degree, and
+reports construction and whole-pipeline throughput in nodes/second.
+
+Modes:
+
+* default: measure and print (records a trajectory point unless
+  ``--no-record``);
+* ``--gate``: additionally fail (exit 1) when construction throughput
+  drops below ``0.7x`` the latest committed ``BENCH_trials.json`` point
+  with the same label — the CI regression gate for the CSR core;
+* ``--update``: measure and (re)record the baseline point, for refreshing
+  the committed baseline after an intentional perf change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.backbone.gateway_selection import select_gateways_batch
+from repro.cluster.lowest_id import lowest_id_rows
+from repro.coverage.two_five_hop import two_five_hop_arrays
+from repro.geometry.area import Area
+from repro.geometry.disk import range_for_target_degree
+from repro.geometry.placement import uniform_placement
+from repro.graph.build import unit_disk_csr
+from repro.io.results import append_perf_point, latest_perf_point
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_trials.json"
+
+#: Fail the ``--gate`` run below this fraction of the committed throughput.
+REGRESSION_FLOOR = 0.7
+
+
+def run_bench(*, n: int = 5000, degree: float = 12.0, seed: int = 11,
+              reps: int = 5) -> dict:
+    """Best-of-``reps`` timings of each pipeline stage at size ``n``."""
+    side = 100.0 * (n / 100.0) ** 0.5
+    area = Area(side, side)
+    radius = range_for_target_degree(n, degree, area)
+    pts = uniform_placement(n, area, rng=np.random.default_rng(seed))
+
+    build = cluster = coverage = select = float("inf")
+    backbone = 0
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        full = unit_disk_csr(pts, radius)
+        t1 = time.perf_counter()
+        component = full.subgraph_rows(full.giant_component_rows())
+        head_row = lowest_id_rows(component)
+        t2 = time.perf_counter()
+        cov = two_five_hop_arrays(component, head_row)
+        t3 = time.perf_counter()
+        sel = select_gateways_batch(cov)
+        t4 = time.perf_counter()
+        build = min(build, t1 - t0)
+        cluster = min(cluster, t2 - t1)
+        coverage = min(coverage, t3 - t2)
+        select = min(select, t4 - t3)
+        backbone = int(sel.backbone_rows().shape[0])
+    pipeline = build + cluster + coverage + select
+    return {
+        "label": f"csr-construction-n{n}",
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "n": n,
+        "degree": degree,
+        "seed": seed,
+        "edges": int(full.num_edges),
+        "backbone": backbone,
+        "build_seconds": round(build, 4),
+        "pipeline_seconds": round(pipeline, 4),
+        "build_nodes_per_sec": round(n / build),
+        "pipeline_nodes_per_sec": round(n / pipeline),
+    }
+
+
+def check_gate(summary: dict, bench_file: Path) -> None:
+    """Fail when construction throughput regressed past the floor."""
+    previous = latest_perf_point(bench_file, summary["label"])
+    if previous is None:
+        return
+    floor = REGRESSION_FLOOR * float(previous["build_nodes_per_sec"])
+    assert summary["build_nodes_per_sec"] >= floor, (
+        f"CSR construction regressed: {summary['build_nodes_per_sec']:.0f} "
+        f"nodes/s < {floor:.0f} (70% of the committed "
+        f"{previous['build_nodes_per_sec']:.0f} from "
+        f"{previous.get('timestamp')})"
+    )
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=5000)
+    parser.add_argument("--degree", type=float, default=12.0)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--reps", type=int, default=5)
+    parser.add_argument("--gate", action="store_true",
+                        help="fail below 0.7x the committed throughput "
+                             "(implies --no-record)")
+    parser.add_argument("--update", action="store_true",
+                        help="record a fresh baseline point")
+    parser.add_argument("--json", action="store_true")
+    parser.add_argument("--bench-file", type=Path, default=BENCH_FILE)
+    args = parser.parse_args(argv)
+
+    summary = run_bench(n=args.n, degree=args.degree, seed=args.seed,
+                        reps=args.reps)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"CSR pipeline at n={summary['n']} d={summary['degree']} "
+              f"({summary['edges']} edges, backbone {summary['backbone']})")
+        print(f"  construction {summary['build_seconds']:>8.4f}s "
+              f"({summary['build_nodes_per_sec']:,.0f} nodes/s)")
+        print(f"  pipeline     {summary['pipeline_seconds']:>8.4f}s "
+              f"({summary['pipeline_nodes_per_sec']:,.0f} nodes/s)")
+    if args.gate:
+        try:
+            check_gate(summary, args.bench_file)
+        except AssertionError as exc:
+            print(f"FAIL: {exc}")
+            return 1
+        previous = latest_perf_point(args.bench_file, summary["label"])
+        base = (f"{previous['build_nodes_per_sec']:,.0f} committed"
+                if previous else "no committed baseline")
+        print(f"OK: construction gate passed ({base})")
+        return 0
+    if args.update:
+        length = append_perf_point(args.bench_file, summary)
+        print(f"recorded trajectory point {length} in {args.bench_file}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

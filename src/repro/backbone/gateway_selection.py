@@ -22,9 +22,12 @@ dynamic backbone (coverage set pruned to the remaining targets).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+import numpy as np
 
 from repro import perf
+from repro.coverage.arrays import CoverageArrays
 from repro.coverage.entries import CoverageSet
 from repro.errors import BackboneError
 from repro.types import NodeId
@@ -150,4 +153,235 @@ def select_gateways(
         head=cov.head,
         gateways=frozenset(gateways),
         connectors=connectors,
+    )
+
+
+@dataclass(frozen=True)
+class BatchGatewaySelection:
+    """Gateway selections of **all** clusterheads, in array form.
+
+    One entry per covered target: head ``conn_head`` reaches clusterhead
+    ``conn_ch`` through relay ``conn_v`` (and second relay ``conn_w``;
+    ``-1`` marks a 2-hop target with no second relay).  All values are CSR
+    rows of ``cov.csr``.
+    """
+
+    cov: CoverageArrays
+    conn_head: np.ndarray
+    conn_ch: np.ndarray
+    conn_v: np.ndarray
+    conn_w: np.ndarray
+
+    def gateway_rows(self) -> np.ndarray:
+        """All selected gateway rows (union over heads), ascending."""
+        return np.unique(
+            np.concatenate([self.conn_v, self.conn_w[self.conn_w >= 0]])
+        )
+
+    def backbone_rows(self) -> np.ndarray:
+        """The backbone node set — clusterheads plus gateways — as rows."""
+        return np.unique(np.concatenate([self.cov.heads, self.gateway_rows()]))
+
+    def materialise_all(self) -> Dict[NodeId, GatewaySelection]:
+        """Per-head :class:`GatewaySelection`, keyed by head id ascending.
+
+        Bit-identical to :func:`select_gateways` over the materialised
+        coverage sets (every selected gateway relays at least one
+        connector, so the gateway set is the union of connector relays).
+        """
+        ids = self.cov.csr.ids
+        order = np.argsort(self.conn_head, kind="stable")
+        heads = self.conn_head[order].tolist()
+        chs = ids[self.conn_ch[order]].tolist()
+        vs = ids[self.conn_v[order]].tolist()
+        ws = self.conn_w[order]
+        w_ids = np.where(ws >= 0, ids[np.maximum(ws, 0)], -1).tolist()
+        per_head: Dict[int, Dict[NodeId, Tuple[NodeId, ...]]] = {}
+        for h, ch, v, w in zip(heads, chs, vs, w_ids):
+            per_head.setdefault(h, {})[ch] = (v,) if w < 0 else (v, w)
+        out: Dict[NodeId, GatewaySelection] = {}
+        head_ids = ids[self.cov.heads].tolist()
+        for h_row, h_id in zip(self.cov.heads.tolist(), head_ids):
+            connectors = per_head.get(h_row, {})
+            gateways: Set[NodeId] = set()
+            for relays in connectors.values():
+                gateways.update(relays)
+            out[h_id] = GatewaySelection(
+                head=h_id,
+                gateways=frozenset(gateways),
+                connectors=connectors,
+            )
+        return out
+
+
+def _sorted_unique_inverse(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``np.unique(keys, return_inverse=True)`` for non-decreasing input."""
+    if keys.shape[0] == 0:
+        return keys, np.empty(0, dtype=np.int64)
+    first = np.ones(keys.shape[0], dtype=bool)
+    first[1:] = keys[1:] != keys[:-1]
+    return keys[first], np.cumsum(first) - 1
+
+
+def select_gateways_batch(cov: CoverageArrays) -> BatchGatewaySelection:
+    """Run the greedy heuristic for **every** clusterhead at once.
+
+    The per-head greedy loop of :func:`select_gateways` vectorises across
+    heads: each iteration picks, for every head that still has uncovered
+    2-hop targets, its best first-hop candidate — largest direct gain,
+    then largest indirect gain, then lowest row — with segmented
+    ``reduceat`` passes over the candidate table, and covers/absorbs the
+    corresponding targets in bulk.  Heads are independent, so running
+    their iterations in lock-step changes nothing.  Phase 2 (leftover
+    3-hop targets) is a short Python loop over the few remaining targets,
+    identical to the set-based code.
+
+    Args:
+        cov: Batched coverage sets from the CSR coverage kernels.
+
+    Returns:
+        The selections in array form; materialising them per head is
+        bit-identical to :func:`select_gateways` on each head's
+        :class:`~repro.coverage.entries.CoverageSet`.
+
+    Raises:
+        BackboneError: if some 2-hop target has no witness (guards
+            corrupted input, as in :func:`select_gateways`).
+    """
+    n = cov.csr.num_nodes
+    d_head, d_ch, d_v = cov.d_head, cov.d_ch, cov.d_v
+    i_head, i_ch, i_v, i_w = cov.i_head, cov.i_ch, cov.i_v, cov.i_w
+
+    # Slot tables: unique (head, ch) targets and unique (head, v) first-hop
+    # candidates, with every witness row mapped onto its slots.  The
+    # witness tables are sorted by (head, ch, ...), so the (head, ch) keys
+    # are non-decreasing and uniques reduce to boundary detection.
+    t2_keys, d_t2 = _sorted_unique_inverse(d_head * n + d_ch)
+    c_keys, d_c = np.unique(d_head * n + d_v, return_inverse=True)
+    cand_head = c_keys // n
+    cand_v = c_keys % n
+    t3_keys, i_t3 = _sorted_unique_inverse(i_head * n + i_ch)
+    n_cand = c_keys.shape[0]
+    n_t3 = t3_keys.shape[0]
+
+    # Absorption table: for every (candidate, 3-hop target) pair reachable
+    # through some (v, w) witness, the lowest second relay w.  Only
+    # candidates that also appear in the direct table matter — phase 1
+    # never selects a pure-indirect neighbour.
+    i_cand = np.searchsorted(c_keys, i_head * n + i_v)
+    if n_cand:
+        i_cand_c = np.minimum(i_cand, n_cand - 1)
+        in_cand = c_keys[i_cand_c] == i_head * n + i_v
+    else:
+        i_cand_c = i_cand
+        in_cand = np.zeros(i_cand.shape[0], dtype=bool)
+    u_key = i_cand_c[in_cand] * max(n_t3, 1) + i_t3[in_cand]
+    u_w = i_w[in_cand]
+    order = np.lexsort((u_w, u_key))
+    u_key, u_w = u_key[order], u_w[order]
+    first = np.ones(u_key.shape[0], dtype=bool)
+    first[1:] = u_key[1:] != u_key[:-1]
+    u3_c = u_key[first] // max(n_t3, 1)
+    u3_t = u_key[first] % max(n_t3, 1)
+    u3_w = u_w[first]
+
+    rem2 = np.ones(t2_keys.shape[0], dtype=bool)
+    rem3 = np.ones(n_t3, dtype=bool)
+    ch_parts: List[np.ndarray] = []
+    cc_parts: List[np.ndarray] = []
+    cv_parts: List[np.ndarray] = []
+    cw_parts: List[np.ndarray] = []
+
+    if n_cand:
+        # Candidate slots are grouped by head (keys sort by head first).
+        seg_starts = np.unique(cand_head, return_index=True)[1]
+        slots = np.arange(n_cand, dtype=np.int64)
+        seg_counts = np.diff(np.append(seg_starts, n_cand))
+        while True:
+            live = rem2[d_t2]
+            gain2 = np.bincount(d_c[live], minlength=n_cand)
+            if not gain2.any():
+                break
+            gain3 = np.bincount(u3_c[rem3[u3_t]], minlength=n_cand)
+            # Segmented argmax of (gain2, gain3, -v) per head; candidates
+            # ascend by v within a segment, so "first position among ties"
+            # is the lowest id.
+            m2 = np.repeat(np.maximum.reduceat(gain2, seg_starts), seg_counts)
+            tie = (gain2 == m2) & (gain2 > 0)
+            g3 = np.where(tie, gain3, -1)
+            m3 = np.repeat(np.maximum.reduceat(g3, seg_starts), seg_counts)
+            pos = np.where(tie & (g3 == m3), slots, n_cand)
+            picked = np.minimum.reduceat(pos, seg_starts)
+            picked = picked[picked < n_cand]
+            pick_mask = np.zeros(n_cand, dtype=bool)
+            pick_mask[picked] = True
+            # Cover the picked candidates' remaining direct targets ...
+            covered = pick_mask[d_c] & rem2[d_t2]
+            ch_parts.append(d_head[covered])
+            cc_parts.append(d_ch[covered])
+            cv_parts.append(d_v[covered])
+            cw_parts.append(np.full(int(covered.sum()), -1, dtype=np.int64))
+            rem2[d_t2[covered]] = False
+            # ... and absorb any 3-hop target they indirectly witness.
+            absorbed = pick_mask[u3_c] & rem3[u3_t]
+            ch_parts.append(t3_keys[u3_t[absorbed]] // n)
+            cc_parts.append(t3_keys[u3_t[absorbed]] % n)
+            cv_parts.append(cand_v[u3_c[absorbed]])
+            cw_parts.append(u3_w[absorbed])
+            rem3[u3_t[absorbed]] = False
+    if rem2.any():
+        bad = int(np.flatnonzero(rem2)[0])
+        head_id = int(cov.csr.ids[t2_keys[bad] // n])
+        raise BackboneError(
+            f"head {head_id}: some 2-hop targets have no remaining witness"
+        )
+
+    # Phase 2: leftover 3-hop targets, ascending (head, ch) — mirrors the
+    # sorted() walk of the set-based code head by head.
+    leftover = np.flatnonzero(rem3)
+    if leftover.size:
+        i_hc = i_head * n + i_ch
+        starts = np.searchsorted(i_hc, t3_keys[leftover])
+        ends = np.searchsorted(i_hc, t3_keys[leftover] + 1)
+        # Already-selected gateways per head with leftovers.
+        need = set((t3_keys[leftover] // n).tolist())
+        gwset: Dict[int, Set[int]] = {h: set() for h in need}
+        for hs, vs, ws in zip(ch_parts, cv_parts, cw_parts):
+            for h, v, w in zip(hs.tolist(), vs.tolist(), ws.tolist()):
+                s = gwset.get(h)
+                if s is not None:
+                    s.add(v)
+                    if w >= 0:
+                        s.add(w)
+        p_head: List[int] = []
+        p_ch: List[int] = []
+        p_v: List[int] = []
+        p_w: List[int] = []
+        for idx, t in enumerate(leftover.tolist()):
+            h = int(t3_keys[t] // n)
+            s = gwset[h]
+            vs = i_v[starts[idx] : ends[idx]].tolist()
+            ws = i_w[starts[idx] : ends[idx]].tolist()
+            v, w = min(
+                zip(vs, ws),
+                key=lambda p: ((p[0] not in s) + (p[1] not in s), p[0], p[1]),
+            )
+            s.add(v)
+            s.add(w)
+            p_head.append(h)
+            p_ch.append(int(t3_keys[t] % n))
+            p_v.append(v)
+            p_w.append(w)
+        ch_parts.append(np.asarray(p_head, dtype=np.int64))
+        cc_parts.append(np.asarray(p_ch, dtype=np.int64))
+        cv_parts.append(np.asarray(p_v, dtype=np.int64))
+        cw_parts.append(np.asarray(p_w, dtype=np.int64))
+
+    empty = np.empty(0, dtype=np.int64)
+    return BatchGatewaySelection(
+        cov=cov,
+        conn_head=np.concatenate(ch_parts) if ch_parts else empty,
+        conn_ch=np.concatenate(cc_parts) if cc_parts else empty,
+        conn_v=np.concatenate(cv_parts) if cv_parts else empty,
+        conn_w=np.concatenate(cw_parts) if cw_parts else empty,
     )

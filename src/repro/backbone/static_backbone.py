@@ -12,10 +12,19 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import TYPE_CHECKING, Dict, FrozenSet, Mapping, Optional
 
-from repro.backbone.gateway_selection import GatewaySelection, select_gateways
+from repro import perf
+from repro.backbone.gateway_selection import (
+    GatewaySelection,
+    select_gateways,
+    select_gateways_batch,
+)
 from repro.cluster.state import ClusterStructure
 from repro.coverage.entries import CoverageSet
-from repro.coverage.policy import compute_all_coverage_sets
+from repro.coverage.policy import (
+    compute_all_coverage_sets,
+    compute_coverage_arrays,
+)
+from repro.graph.csr import CSR_CUTOVER
 from repro.types import CoveragePolicy, NodeId
 
 if TYPE_CHECKING:
@@ -99,6 +108,22 @@ def build_static_backbone(
         selections: Dict[NodeId, GatewaySelection] = dict(
             index.all_selections(structure)
         )
+        return Backbone(
+            structure=structure,
+            policy=policy,
+            coverage_sets=dict(coverage_sets),
+            selections=selections,
+            algorithm=f"static-backbone[{policy.label}]",
+        )
+    if coverage_sets is None and len(structure.graph) >= CSR_CUTOVER:
+        # Batched CSR path: one vectorised coverage pass and one lock-step
+        # greedy selection for all heads; materialised results are
+        # bit-identical to the per-head walks below.
+        with perf.stage("coverage"):
+            arrays = compute_coverage_arrays(structure, policy)
+            coverage_sets = arrays.materialise_all()
+        with perf.stage("selection"):
+            selections = select_gateways_batch(arrays).materialise_all()
         return Backbone(
             structure=structure,
             policy=policy,

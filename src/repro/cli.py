@@ -257,20 +257,24 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     cache = get_scenario_cache()
     cache.clear()  # attribute placement/construction, not cache hits
     was_enabled = perf.enabled()
+    was_mem = perf.memory_enabled()
     perf.enable()
+    if args.mem:
+        perf.enable_memory()
     perf.reset()
     try:
         runners[args.figure](env, backend=args.backend, parallel=args.parallel)
     finally:
         counters = perf.snapshot()
         perf.enable(was_enabled)
+        perf.enable_memory(was_mem)
     if args.json:
-        print(_json.dumps(
-            {"figure": args.figure, "backend": args.backend,
-             "parallel": args.parallel, "stages": counters,
-             "scenario_cache": cache.stats()},
-            indent=2,
-        ))
+        payload = {"figure": args.figure, "backend": args.backend,
+                   "parallel": args.parallel, "stages": counters,
+                   "scenario_cache": cache.stats()}
+        if args.mem:
+            payload["peak_rss_bytes"] = perf.peak_rss_bytes()
+        print(_json.dumps(payload, indent=2))
     else:
         print(f"{args.figure} on backend={args.backend} "
               f"parallel={args.parallel} (seed {args.seed})")
@@ -547,6 +551,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "supports the in-process backends only")
     p.add_argument("--parallel", type=int, default=1)
     p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.add_argument("--mem", action="store_true",
+                   help="also sample per-stage memory (tracemalloc net "
+                        "allocation and peak, plus process peak RSS)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output")
     p.set_defaults(func=_cmd_perf)

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Dict, FrozenSet, List, Mapping, Set
 
+import numpy as np
+
 from repro.errors import ClusteringError, NodeNotFoundError
 from repro.graph.adjacency import Graph
 from repro.types import NodeId, NodeRole
@@ -78,6 +80,27 @@ class ClusterStructure:
         from repro.topology.view import TopologyView
 
         return TopologyView(self.graph)
+
+    @cached_property
+    def csr(self):
+        """A :class:`~repro.graph.csr.CSRGraph` snapshot of the graph.
+
+        Built once per structure; the array kernels (coverage, gateway
+        selection) pull it from here so the object-layer entry points can
+        dispatch to CSR at scale without re-converting per call.
+        """
+        return self.graph.to_csr()
+
+    @cached_property
+    def head_row(self):
+        """Per-CSR-row clusterhead assignment as an int array.
+
+        ``head_row[r]`` is the row (rank in id order) of row ``r``'s
+        clusterhead — the form the CSR coverage kernels consume.
+        """
+        ids = self.csr.ids
+        head_ids = np.asarray([self.head_of[v] for v in ids.tolist()])
+        return np.searchsorted(ids, head_ids)
 
     @cached_property
     def clusterheads(self) -> FrozenSet[NodeId]:

@@ -24,9 +24,18 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional, Set
 
+import numpy as np
+
 from repro.cluster.state import ClusterStructure
+from repro.coverage.arrays import CoverageArrays
 from repro.coverage.entries import CoverageSet, WitnessPair, freeze_witnesses
 from repro.errors import CoverageError
+from repro.graph.csr import (
+    CSRGraph,
+    grouped_cartesian,
+    searchsorted_membership,
+    sort_quads,
+)
 from repro.types import CoveragePolicy, NodeId
 
 if TYPE_CHECKING:
@@ -101,4 +110,110 @@ def two_five_hop_coverage(
         c3=frozenset(c3),
         direct_witnesses=dfz,
         indirect_witnesses=ifz,
+    )
+
+
+def two_five_hop_arrays(csr: CSRGraph, head_row: np.ndarray) -> CoverageArrays:
+    """2.5-hop coverage sets of **all** clusterheads, batched.
+
+    One vectorised pass over every node's neighbour list replaces the
+    per-head set walks of :func:`two_five_hop_coverage`:
+
+    * a direct triple ``(h, ch, v)`` is exactly an ordered pair of distinct
+      clusterhead neighbours ``(h, ch)`` of some node ``v`` — the CH_HOP1
+      relation read backwards;
+    * an indirect quad ``(h, ch, v, w)`` pairs a clusterhead neighbour
+      ``h`` of ``v`` with a non-clusterhead neighbour ``w`` whose own head
+      ``ch`` is neither ``h`` nor adjacent to ``v`` (the CH_HOP2 rule),
+      minus any ``(h, ch)`` already reachable directly.
+
+    Args:
+        csr: The network.
+        head_row: Per-row clusterhead assignment from
+            :func:`repro.cluster.lowest_id.lowest_id_rows`.
+
+    Returns:
+        The witness tables; materialising them per head is bit-identical
+        to :func:`two_five_hop_coverage`.
+    """
+    n = csr.num_nodes
+    rows = np.arange(n, dtype=np.int64)
+    is_head = head_row == rows
+    degrees = csr.degrees.astype(np.int64)
+    flat = csr.indices.astype(np.int64)
+    src = np.repeat(rows, degrees)
+    nbr_is_head = is_head[flat]
+
+    # Per-node grouped lists of clusterhead / non-clusterhead neighbours.
+    # Slicing the (already row-grouped, row-sorted) flat adjacency keeps
+    # both lists grouped by source node with ascending members.
+    head_nbrs = flat[nbr_is_head]
+    k = np.bincount(src[nbr_is_head], minlength=n)
+    k_start = np.zeros(n, dtype=np.int64)
+    np.cumsum(k[:-1], out=k_start[1:])
+    plain_nbrs = flat[~nbr_is_head]
+
+    # Direct triples: ordered pairs of distinct head neighbours of v.
+    grp, a, b = grouped_cartesian(k, k)
+    keep = a != b
+    grp, a, b = grp[keep], a[keep], b[keep]
+    d_head = head_nbrs[k_start[grp] + a]
+    d_ch = head_nbrs[k_start[grp] + b]
+    # Sort the packed triple key now and unpack the columns — one np.sort
+    # replaces an argsort plus three gathers ((head, ch, v) packs into one
+    # int64: n^3 stays well under 2**63 for any network this library can
+    # hold in memory).  The unique (head, ch) pairs for the C3 removal
+    # rule fall out of the same sorted array by boundary detection.
+    d_key = np.sort((d_head * n + d_ch) * n + grp)
+    d_pair = d_key // n
+    if d_pair.shape[0]:
+        first = np.empty(d_pair.shape[0], dtype=bool)
+        first[0] = True
+        np.not_equal(d_pair[1:], d_pair[:-1], out=first[1:])
+        d_keys = d_pair[first]
+    else:
+        d_keys = d_pair
+
+    # Indirect quads.  First build each node's CH_HOP2 content — for every
+    # non-head neighbour w of v, the entry ``head(w)[w]`` unless head(w)
+    # is adjacent to v — which is independent of the receiving head, so
+    # the adjacency test runs once per directed edge rather than once per
+    # (head, edge) candidate.
+    v_of_plain = src[~nbr_is_head]
+    ch_of_plain = head_row[plain_nbrs]
+    ok = ~searchsorted_membership(
+        csr.edge_keys(), v_of_plain * n + ch_of_plain
+    )
+    entry_w = plain_nbrs[ok]
+    entry_ch = ch_of_plain[ok]
+    m = np.bincount(v_of_plain[ok], minlength=n)
+    m_start = np.zeros(n, dtype=np.int64)
+    np.cumsum(m[:-1], out=m_start[1:])
+    # Then pair every head neighbour h of v with v's entries.
+    grp, a, b = grouped_cartesian(k, m)
+    q_head = head_nbrs[k_start[grp] + a]
+    q_ch = entry_ch[m_start[grp] + b]
+    keep = q_ch != q_head
+    grp, b = grp[keep], b[keep]
+    q_head, q_ch = q_head[keep], q_ch[keep]
+    # "If a clusterhead appears in both C2(u) and C3(u), the one in C3(u)
+    # is removed."
+    keep = ~searchsorted_membership(d_keys, q_head * n + q_ch)
+    grp, b = grp[keep], b[keep]
+    q_head, q_ch = q_head[keep], q_ch[keep]
+    q_v = grp
+    q_w = entry_w[m_start[grp] + b]
+
+    i_head, i_ch, i_v, i_w = sort_quads(n, q_head, q_ch, q_v, q_w)
+    return CoverageArrays(
+        csr=csr,
+        policy=CoveragePolicy.TWO_FIVE_HOP,
+        heads=np.flatnonzero(is_head),
+        d_head=d_key // (n * n),
+        d_ch=d_pair % n,
+        d_v=d_key % n,
+        i_head=i_head,
+        i_ch=i_ch,
+        i_v=i_v,
+        i_w=i_w,
     )

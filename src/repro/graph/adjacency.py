@@ -159,6 +159,21 @@ class Graph:
 
     # -- conversion ----------------------------------------------------------
 
+    def to_csr(self):
+        """The immutable :class:`~repro.graph.csr.CSRGraph` form of this graph.
+
+        A snapshot — later mutations of this graph do not propagate.  The
+        bridge the array kernels use to accelerate large set-based graphs.
+        """
+        from repro.graph.csr import CSRGraph
+
+        return CSRGraph.from_graph(self)
+
+    @classmethod
+    def from_csr(cls, csr) -> "Graph":
+        """A mutable graph equal to the given :class:`~repro.graph.csr.CSRGraph`."""
+        return csr.to_graph()
+
     def copy(self) -> "Graph":
         """Deep copy of the graph."""
         g = Graph()

@@ -26,7 +26,12 @@ from repro.graph.adjacency import Graph
 from repro.types import NodeId
 
 #: Above this node count the grid sweep beats the dense matrix pass.
-_DENSE_CUTOVER = 1200
+#: Re-measured 2026-08 after the batched ``SpatialGrid.pair_arrays``
+#: stencil sweep replaced the per-cell Python loop: uniform placements at
+#: target degree 12 (min-of-25 reps, seeds 7/11/23) put the dense pass
+#: ahead through n≈40 (0.5–0.9x grid time) and behind from n≈60 on
+#: (1.1–1.3x, 2x by n=150); the old Python-loop grid justified 1200.
+_DENSE_CUTOVER = 48
 
 
 @perf.timed("construction")
@@ -115,5 +120,45 @@ def _build_grid(graph: Graph, pts: np.ndarray, radius: float,
                 ids: Sequence[NodeId]) -> None:
     """Spatial-hash construction (expected O(n) for uniform placements)."""
     grid = SpatialGrid(pts, cell_size=radius)
-    for i, j in grid.pairs_within(radius):
-        graph.add_edge(ids[i], ids[j])
+    us, vs = grid.pair_arrays(radius)
+    graph.add_edges(
+        (ids[i], ids[j]) for i, j in zip(us.tolist(), vs.tolist())
+    )
+
+
+@perf.timed("construction")
+def unit_disk_csr(
+    positions: np.ndarray,
+    radius: float,
+    *,
+    ids: Optional[Sequence[NodeId]] = None,
+    torus: Optional[Area] = None,
+):
+    """Build the unit disk graph directly in CSR form.
+
+    The large-``n`` construction path: positions go straight through the
+    vectorised :meth:`~repro.geometry.grid.SpatialGrid.pair_arrays` cell
+    sweep into :class:`~repro.graph.csr.CSRGraph` arrays — no ``Graph``
+    object, no Python edge list.  Same arguments and validation as
+    :func:`unit_disk_graph` (minus ``method``: the sweep is always the
+    grid one, except under ``torus`` which forces the dense pass).
+
+    Returns:
+        The unit disk :class:`~repro.graph.csr.CSRGraph`.
+    """
+    from repro.graph.csr import csr_from_positions
+
+    pts = np.asarray(positions, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise GeometryError(f"expected (n, 2) positions, got shape {pts.shape}")
+    if not (radius > 0.0 and np.isfinite(radius)):
+        raise GeometryError(f"radius must be positive and finite, got {radius}")
+    n = pts.shape[0]
+    if ids is not None:
+        id_list = list(ids)
+        if len(id_list) != n:
+            raise GeometryError(f"got {len(id_list)} ids for {n} positions")
+        if len(set(id_list)) != n:
+            raise GeometryError("node ids must be unique")
+        ids = id_list
+    return csr_from_positions(pts, radius, ids=ids, torus=torus)

@@ -9,25 +9,36 @@ This study measures, for fixed average degree and growing n:
 * the backbone fraction ``|CDS| / n`` — approximately constant for fixed
   degree, which is what makes the approach scale;
 * dynamic-broadcast forward fraction.
+
+The pipeline runs **array-native**: positions go straight into a
+:class:`~repro.graph.csr.CSRGraph` and every stage (clustering, coverage,
+gateway selection) is a CSR kernel.  Per-head objects are only
+materialised when the broadcast measurement asks for them, so the timed
+stages reflect the kernels themselves.  Stage timings are also streamed
+through the optional ``on_stage`` callback as they complete — an
+interrupted large-``n`` run still reports every finished stage.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Callable, List, Optional, Sequence
 
-from repro.backbone.static_backbone import build_static_backbone
+from repro import perf
+from repro.backbone.gateway_selection import select_gateways_batch
 from repro.broadcast.sd_cds import broadcast_sd
-from repro.cluster.lowest_id import lowest_id_clustering
-from repro.coverage.policy import compute_all_coverage_sets
+from repro.cluster.lowest_id import lowest_id_rows
+from repro.cluster.state import ClusterStructure
+from repro.coverage.two_five_hop import two_five_hop_arrays
 from repro.exec.scenarios import scenario_positions
 from repro.geometry.area import Area
 from repro.geometry.disk import range_for_target_degree
-from repro.graph.build import unit_disk_graph
-from repro.graph.connectivity import connected_components
+from repro.graph.build import unit_disk_csr
 from repro.rng import RngLike, derive_seed, ensure_rng
-from repro.types import CoveragePolicy
+
+#: Signature of the streaming callback: ``(n, stage_name, seconds)``.
+StageCallback = Callable[[int, str, float], None]
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,7 +55,8 @@ class ScalingPoint:
         coverage_seconds: Coverage-set computation time.
         backbone_seconds: Gateway-selection time.
         backbone_fraction: ``|CDS| / component_n``.
-        dynamic_fraction: Dynamic forward nodes over ``component_n``.
+        dynamic_fraction: Dynamic forward nodes over ``component_n``
+            (``0.0`` when the study ran with ``with_broadcast=False``).
     """
 
     n: int
@@ -68,6 +80,8 @@ def run_scaling_study(
     ns: Sequence[int] = (100, 300, 1000, 3000),
     average_degree: float = 12.0,
     rng: RngLike = None,
+    on_stage: Optional[StageCallback] = None,
+    with_broadcast: bool = True,
 ) -> List[ScalingPoint]:
     """Run the full pipeline at each size and time every stage.
 
@@ -78,6 +92,14 @@ def run_scaling_study(
         ns: Network sizes.
         average_degree: Fixed target degree across sizes.
         rng: Seed or generator.
+        on_stage: Called as ``on_stage(n, stage, seconds)`` the moment each
+            timed stage finishes — construction, clustering, coverage,
+            selection — so partial results of an interrupted run are not
+            lost.
+        with_broadcast: Also run the dynamic source-dependent broadcast
+            (requires materialising per-head objects, which is Python-level
+            work outside the timed kernel stages).  Disable for pure
+            kernel-throughput measurements at very large ``n``.
 
     Returns:
         One :class:`ScalingPoint` per size.
@@ -98,36 +120,63 @@ def run_scaling_study(
         pts = scenario_positions(n, area, root=scenario_root)
 
         t0 = time.perf_counter()
-        graph = unit_disk_graph(pts, radius)
-        t1 = time.perf_counter()
-        giant = max(connected_components(graph), key=len)
-        component = graph.subgraph(giant)
-        t2 = time.perf_counter()
-        clustering = lowest_id_clustering(component)
-        t3 = time.perf_counter()
-        coverage = compute_all_coverage_sets(
-            clustering, CoveragePolicy.TWO_FIVE_HOP
-        )
-        t4 = time.perf_counter()
-        backbone = build_static_backbone(
-            clustering, CoveragePolicy.TWO_FIVE_HOP, coverage
-        )
-        t5 = time.perf_counter()
-        source = min(giant)
-        dyn = broadcast_sd(clustering, source, coverage_sets=coverage)
+        full = unit_disk_csr(pts, radius)
+        build_seconds = time.perf_counter() - t0
+        if on_stage is not None:
+            on_stage(n, "construction", build_seconds)
+
+        giant_rows = full.giant_component_rows()
+        component = full.subgraph_rows(giant_rows)
+        component_n = component.num_nodes
+
+        t0 = time.perf_counter()
+        with perf.stage("clustering"):
+            head_row = lowest_id_rows(component)
+        cluster_seconds = time.perf_counter() - t0
+        if on_stage is not None:
+            on_stage(n, "clustering", cluster_seconds)
+
+        t0 = time.perf_counter()
+        with perf.stage("coverage"):
+            coverage = two_five_hop_arrays(component, head_row)
+        coverage_seconds = time.perf_counter() - t0
+        if on_stage is not None:
+            on_stage(n, "coverage", coverage_seconds)
+
+        t0 = time.perf_counter()
+        with perf.stage("selection"):
+            selection = select_gateways_batch(coverage)
+        backbone_seconds = time.perf_counter() - t0
+        if on_stage is not None:
+            on_stage(n, "selection", backbone_seconds)
+        backbone_size = int(selection.backbone_rows().shape[0])
+
+        dynamic_fraction = 0.0
+        if with_broadcast:
+            # Materialise the object layer from the already-computed CSR
+            # results (no kernel re-runs) for the broadcast measurement.
+            ids = component.ids
+            structure = ClusterStructure(
+                graph=component.to_graph(),
+                head_of=dict(zip(ids.tolist(), ids[head_row].tolist())),
+            )
+            structure.__dict__["csr"] = component
+            structure.__dict__["head_row"] = head_row
+            coverage_sets = coverage.materialise_all()
+            source = int(ids[0])  # lowest id in the component
+            dyn = broadcast_sd(structure, source, coverage_sets=coverage_sets)
+            dynamic_fraction = dyn.result.num_forward_nodes / component_n
 
         points.append(
             ScalingPoint(
                 n=n,
-                component_n=len(giant),
-                build_seconds=t1 - t0,
-                cluster_seconds=t3 - t2,
-                coverage_seconds=t4 - t3,
-                backbone_seconds=t5 - t4,
-                backbone_fraction=backbone.size / len(giant),
-                dynamic_fraction=(
-                    dyn.result.num_forward_nodes / len(giant)
-                ),
+                component_n=component_n,
+                build_seconds=build_seconds,
+                cluster_seconds=cluster_seconds,
+                coverage_seconds=coverage_seconds,
+                backbone_seconds=backbone_seconds,
+                backbone_fraction=backbone_size / component_n,
+                dynamic_fraction=dynamic_fraction,
             )
         )
     return points

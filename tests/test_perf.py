@@ -10,9 +10,11 @@ from repro import perf
 @pytest.fixture(autouse=True)
 def _clean_counters():
     was = perf.enabled()
+    was_mem = perf.memory_enabled()
     perf.reset()
     yield
     perf.enable(was)
+    perf.enable_memory(was_mem)
     perf.reset()
 
 
@@ -74,6 +76,45 @@ class TestEnabled:
         assert perf.snapshot() == {}
 
 
+class TestMemorySampling:
+    def test_off_by_default_records_no_bytes(self):
+        perf.enable()
+        perf.enable_memory(False)
+        with perf.stage("coverage"):
+            _ = bytearray(1 << 20)
+        snap = perf.snapshot()
+        assert "alloc_bytes" not in snap["coverage"]
+        assert "peak_bytes" not in snap["coverage"]
+
+    def test_stage_captures_alloc_and_peak(self):
+        perf.enable()
+        perf.enable_memory()
+        with perf.stage("coverage"):
+            buf = bytearray(4 << 20)
+            del buf
+        snap = perf.snapshot()
+        # The 4 MiB buffer was freed before exit, so the *peak* sees it
+        # while the net allocation stays small.
+        assert snap["coverage"]["peak_bytes"] >= 4 << 20
+        assert snap["coverage"]["alloc_bytes"] < 4 << 20
+
+    def test_nested_stage_allocation_is_exclusive(self):
+        perf.enable()
+        perf.enable_memory()
+        with perf.stage("outer"):
+            with perf.stage("inner"):
+                self.held = bytearray(4 << 20)
+        snap = perf.snapshot()
+        del self.held
+        # The inner stage's 4 MiB must not leak into the outer stage's
+        # net-allocation number.
+        assert snap["inner"]["alloc_bytes"] >= 4 << 20
+        assert snap["outer"]["alloc_bytes"] < 1 << 20
+
+    def test_peak_rss_is_positive_on_posix(self):
+        assert perf.peak_rss_bytes() > 0
+
+
 class TestReport:
     def test_render_orders_canonical_stages_first(self):
         counters = {
@@ -87,6 +128,23 @@ class TestReport:
         assert lines[2].startswith("broadcast")
         assert lines[3].startswith("zeta")
         assert lines[-1].startswith("total")
+
+    def test_render_adds_memory_columns_when_sampled(self):
+        counters = {
+            "coverage": {"seconds": 0.1, "calls": 1,
+                         "alloc_bytes": 2048, "peak_bytes": 5 << 20},
+        }
+        report = perf.render_report(counters)
+        assert "alloc" in report.splitlines()[0]
+        assert "2.0KiB" in report
+        assert "5.0MiB" in report
+        assert "peak RSS" in report
+
+    def test_render_omits_memory_columns_without_samples(self):
+        counters = {"coverage": {"seconds": 0.1, "calls": 1}}
+        report = perf.render_report(counters)
+        assert "alloc" not in report
+        assert "peak RSS" not in report
 
     def test_pipeline_functions_report_under_their_stage(self):
         from repro.graph.generators import random_geometric_network

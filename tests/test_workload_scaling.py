@@ -37,3 +37,44 @@ class TestScalingStudy:
         assert large.backbone_fraction == pytest.approx(
             small.backbone_fraction, abs=0.12
         )
+
+
+class TestStageStreaming:
+    def test_on_stage_streams_every_stage_in_order(self):
+        events = []
+        run_scaling_study(
+            ns=(80, 150), average_degree=8.0, rng=5,
+            on_stage=lambda n, stage, s: events.append((n, stage, s)),
+            with_broadcast=False,
+        )
+        stages = ["construction", "clustering", "coverage", "selection"]
+        assert [(n, st) for n, st, _ in events] == [
+            (n, st) for n in (80, 150) for st in stages
+        ]
+        assert all(s >= 0.0 for _, _, s in events)
+
+    def test_interrupted_run_keeps_completed_stages(self):
+        # A callback that fails mid-study models an interrupt (timeout,
+        # OOM-killer grace hook, Ctrl-C): everything already streamed
+        # survives even though run_scaling_study never returns.
+        events = []
+
+        def boom(n, stage, seconds):
+            events.append((n, stage))
+            if n == 150 and stage == "coverage":
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_scaling_study(
+                ns=(80, 150), average_degree=8.0, rng=5,
+                on_stage=boom, with_broadcast=False,
+            )
+        assert events[-1] == (150, "coverage")
+        assert (80, "selection") in events
+
+    def test_broadcast_disabled_zeroes_dynamic_fraction(self):
+        points = run_scaling_study(
+            ns=(80,), average_degree=8.0, rng=5, with_broadcast=False,
+        )
+        assert points[0].dynamic_fraction == 0.0
+        assert points[0].backbone_fraction > 0.0
