@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper bench-topology bench-faults bench-parallel chaos figures examples lint clean
+.PHONY: install test bench bench-paper bench-topology bench-faults bench-channel bench-parallel chaos figures examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -24,6 +24,9 @@ bench-topology:
 
 bench-faults:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_fault_sweep.py
+
+bench-channel:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_channel.py --gate
 
 bench-parallel:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_trials_parallel.py

@@ -72,7 +72,9 @@ def broadcast_reliable_tree(
     Args:
         structure: The clustering.
         source: Originating node.
-        loss_probability: Per-transmission loss (applies to data and ACKs).
+        loss_probability: Per-transmission loss in ``[0, 1]``, matching the
+            medium's knob (applies to data and ACKs; at 1.0 every hop
+            exhausts its retry budget and lands in ``gave_up``).
         max_retries: Retry budget per hop; exhausted hops are recorded in
             ``gave_up`` (delivery then may be partial).
         policy: Coverage policy for the tree.
@@ -85,9 +87,9 @@ def broadcast_reliable_tree(
     graph = structure.graph
     if source not in graph:
         raise NodeNotFoundError(source)
-    if not (0.0 <= loss_probability < 1.0):
+    if not (0.0 <= loss_probability <= 1.0):
         raise BroadcastError(
-            f"loss probability must be in [0, 1), got {loss_probability}"
+            f"loss probability must be in [0, 1], got {loss_probability}"
         )
     generator = ensure_rng(rng)
     tree = build_forwarding_tree(structure, source, policy=policy,

@@ -11,7 +11,7 @@ delivery checks, latency studies and the benchmark tables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Mapping
+from typing import FrozenSet, Mapping, Optional
 
 from repro.graph.adjacency import Graph
 from repro.types import NodeId
@@ -31,6 +31,11 @@ class BroadcastResult:
         reception_time: Node -> first reception time (unit transmission
             delays; the source maps to 0).
         transmissions: Total number of transmissions (>= ``len(forward_nodes)``).
+        channel: PHY/MAC counters of the run
+            (:meth:`repro.channel.model.ChannelStats.as_dict` — collisions,
+            captures, MAC deferrals/drops) when the medium carried a
+            channel model; ``None`` on the bare medium and for the
+            centralised algorithms, which never touch a channel.
     """
 
     source: NodeId
@@ -39,6 +44,7 @@ class BroadcastResult:
     received: FrozenSet[NodeId]
     reception_time: Mapping[NodeId, int]
     transmissions: int
+    channel: Optional[Mapping[str, int]] = None
 
     def __post_init__(self) -> None:
         if self.source not in self.received:

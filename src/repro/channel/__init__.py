@@ -1,0 +1,46 @@
+"""Pluggable PHY/MAC realism under the broadcast medium.
+
+The paper assumes collision/contention handling below the network layer;
+this package removes that assumption without touching the network-layer
+protocols.  A :class:`~repro.channel.model.ChannelModel` is a duck-typed
+overlay consulted by :class:`~repro.sim.medium.WirelessMedium` in the same
+style as :class:`~repro.sim.medium.FaultHook` — the unit-disk
+:class:`~repro.graph.adjacency.Graph` is never mutated:
+
+* :class:`~repro.channel.model.IdealChannel` — the identity model; attaching
+  it reproduces the bare medium bit-for-bit (same events, same trace, same
+  RNG draws).
+* :class:`~repro.channel.sinr.SinrChannel` — log-distance pathloss with
+  SINR-threshold reception: each delivered copy survives only if the
+  wanted signal clears the aggregate interference of every transmission
+  overlapping it in time.
+* :mod:`~repro.channel.mac` — transmit-time contention: a slotted CSMA MAC
+  with deterministic seeded backoff, and a TDMA frame that assigns each
+  node its own slot.  Both schedule the on-air instant through the event
+  engine instead of airing instantly.
+
+Composition with faults is fixed: the fault hook gates first (a crashed
+radio never airs and therefore never interferes; copies multiply at
+transmit time), the channel decides reception last (capture applies per
+copy).  Everything is deterministic given the seeds — see
+``docs/channel.md`` for the math and the determinism contract.
+"""
+
+from repro.channel.model import ChannelModel, ChannelStats, IdealChannel
+from repro.channel.mac import MacModel, SlottedCsmaMac, TdmaMac
+from repro.channel.sinr import SinrChannel
+from repro.channel.factory import CHANNELS, MACS, make_channel, make_mac
+
+__all__ = [
+    "ChannelModel",
+    "ChannelStats",
+    "IdealChannel",
+    "MacModel",
+    "SlottedCsmaMac",
+    "TdmaMac",
+    "SinrChannel",
+    "CHANNELS",
+    "MACS",
+    "make_channel",
+    "make_mac",
+]

@@ -1,0 +1,91 @@
+"""Channel/MAC construction from plain names and parameters.
+
+The CLI flags (``--channel``, ``--mac``) and the picklable contention
+trial specs (:mod:`repro.workload.contention`) describe channel
+configurations as strings plus floats — workers rebuild the actual model
+objects from those descriptions on their side of the process boundary.
+This module is that (name, params) → object mapping.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.channel.mac import MacModel, SlottedCsmaMac, TdmaMac
+from repro.channel.model import ChannelModel, IdealChannel
+from repro.channel.sinr import SinrChannel
+from repro.errors import ConfigurationError
+from repro.rng import RngLike
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.network import Network
+
+#: Recognised channel model names.
+CHANNELS = ("ideal", "sinr")
+
+#: Recognised MAC model names.
+MACS = ("instant", "csma", "tdma")
+
+
+def make_mac(name: str, *, rng: RngLike = None, cw_min: int = 4,
+             cw_max: int = 64, max_attempts: int = 8,
+             frame: int = 8) -> Optional[MacModel]:
+    """Build a MAC model from its CLI name.
+
+    Args:
+        name: One of :data:`MACS`; ``"instant"`` returns ``None`` (the
+            medium's inline path — no MAC object, no scheduling overhead).
+        rng: Seed or generator for CSMA's backoff draws.
+        cw_min/cw_max/max_attempts: CSMA backoff parameters.
+        frame: TDMA frame length in slots.
+    """
+    if name == "instant":
+        return None
+    if name == "csma":
+        return SlottedCsmaMac(rng, cw_min=cw_min, cw_max=cw_max,
+                              max_attempts=max_attempts)
+    if name == "tdma":
+        return TdmaMac(frame=frame)
+    raise ConfigurationError(
+        f"unknown MAC {name!r} (expected one of {', '.join(MACS)})"
+    )
+
+
+def make_channel(
+    name: str,
+    network: Optional["Network"] = None,
+    *,
+    mac: Optional[MacModel] = None,
+    alpha: float = 3.0,
+    threshold: float = 4.0,
+    noise_margin: float = 2.0,
+) -> Optional[ChannelModel]:
+    """Build a channel model from its CLI name.
+
+    Args:
+        name: One of :data:`CHANNELS`, or ``"none"`` for the bare medium
+            (returns ``None``; ``"ideal"`` returns an attached-but-identity
+            :class:`~repro.channel.model.IdealChannel` instead).
+        network: Required for ``"sinr"`` — supplies geometry.
+        mac: Optional MAC from :func:`make_mac`.
+        alpha/threshold/noise_margin: SINR parameters (see
+            :class:`~repro.channel.sinr.SinrChannel`).
+    """
+    if name == "none":
+        if mac is not None:
+            raise ConfigurationError("a MAC needs a channel to live in — "
+                                     "use --channel ideal for MAC-only runs")
+        return None
+    if name == "ideal":
+        return IdealChannel(mac=mac)
+    if name == "sinr":
+        if network is None:
+            raise ConfigurationError(
+                "the SINR channel needs the sampled Network (positions and "
+                "range), not just a Graph"
+            )
+        return SinrChannel(network, alpha=alpha, threshold=threshold,
+                           noise_margin=noise_margin, mac=mac)
+    raise ConfigurationError(
+        f"unknown channel {name!r} (expected one of {', '.join(CHANNELS)})"
+    )

@@ -13,12 +13,14 @@
 * ``svg``        — export the network/backbone as an SVG figure;
 * ``robustness`` — delivery ratios under a lossy data plane;
 * ``faults``     — delivery under fault schedules (crashes, cuts, windows);
+* ``channel``    — delivery under SINR interference and MAC contention;
 * ``mobility``   — backbone churn under node movement;
 * ``route``      — a unicast route over the backbone.
 
 All commands accept ``--seed`` for reproducibility.
 
-The long-running sweep commands (``experiment``, ``faults``) additionally
+The long-running sweep commands (``experiment``, ``faults``, ``channel``)
+additionally
 accept the resilience flags (see docs/resilience.md): ``--journal FILE``
 writes every folded trial to a crash-safe run journal, ``--resume``
 replays an interrupted journal so the run continues bit-identically,
@@ -286,6 +288,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
     from repro.graph.generators import paper_figure3_graph
     from repro.protocols.runner import (
         run_distributed_build, run_distributed_sd_broadcast,
@@ -293,12 +296,26 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.types import CoveragePolicy
 
     if args.figure3:
-        graph = paper_figure3_graph()
+        net, graph = None, paper_figure3_graph()
     else:
-        graph = _obtain_network(args).graph
+        net = _obtain_network(args)
+        graph = net.graph
     policy = (CoveragePolicy.THREE_HOP if args.policy == "3"
               else CoveragePolicy.TWO_FIVE_HOP)
     build = run_distributed_build(graph, policy)
+    if args.channel != "none":
+        from repro.channel import make_channel, make_mac
+
+        if args.channel == "sinr" and net is None:
+            raise ConfigurationError(
+                "--channel sinr needs node positions (not available "
+                "with --figure3)"
+            )
+        # Construction ran under the paper's perfect-MAC assumption; only
+        # the data-plane broadcast below contends for the channel.
+        build.network.medium.set_channel(make_channel(
+            args.channel, net, mac=make_mac(args.mac, rng=args.seed),
+        ))
     source = args.source if args.source is not None else min(graph.nodes())
     result, stats = run_distributed_sd_broadcast(build, source)
     print(build.network.trace.render(limit=args.limit))
@@ -310,6 +327,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
           f"volume {stats.volume:>6}  duration {stats.duration:g}")
     print(f"\nSD broadcast from {source}: forward nodes "
           f"{sorted(result.forward_nodes)}")
+    if result.channel is not None:
+        counters = ", ".join(f"{k}: {v}" for k, v in result.channel.items())
+        print(f"channel [{args.channel}/{args.mac}]: {counters}")
     return 0
 
 
@@ -428,6 +448,50 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     for p in points:
         row = " ".join(f"{p.delivery[proto]:>12.3f}" for proto in PROTOCOLS)
         print(f"{p.loss_probability:>6g} | {row}")
+    if args.json:
+        from repro.io.results import fault_sweep_to_json
+
+        n = fault_sweep_to_json(points, args.json)
+        print(f"wrote {n} points to {args.json}")
+    return 0
+
+
+def _cmd_channel(args: argparse.Namespace) -> int:
+    from repro.workload.contention import (
+        CONTENTION_PROTOCOLS, run_contention_sweep,
+    )
+
+    backend, supervised = _resilient_backend(args)
+    journal = _open_cli_journal(args, {
+        "command": "channel", "losses": list(args.losses), "n": args.nodes,
+        "degree": args.degree, "trials": args.trials, "mac": args.mac,
+        "alpha": args.alpha, "threshold": args.threshold,
+        "noise_margin": args.noise_margin, "frame": args.frame,
+        "crash_fraction": args.crash_fraction, "seed": args.seed,
+    })
+    try:
+        points = run_contention_sweep(
+            losses=tuple(args.losses), n=args.nodes,
+            average_degree=args.degree, trials=args.trials,
+            mac=args.mac, alpha=args.alpha, threshold=args.threshold,
+            noise_margin=args.noise_margin, frame=args.frame,
+            crash_fraction=args.crash_fraction, rng=args.seed,
+            backend=backend, parallel=args.parallel, journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+        _report_supervision(supervised)
+    header = " ".join(f"{p:>12}" for p in CONTENTION_PROTOCOLS)
+    print(f"n={args.nodes} d={args.degree:g} mac={args.mac} "
+          f"(alpha {args.alpha:g}, threshold {args.threshold:g})")
+    for axis in ("delivery", "collisions", "latency"):
+        print(f"{axis} by loss:")
+        print(f"{'loss':>6} | {header}")
+        for p in points:
+            row = " ".join(f"{getattr(p, axis)[proto]:>12.3f}"
+                           for proto in CONTENTION_PROTOCOLS)
+            print(f"{p.loss_probability:>6g} | {row}")
     if args.json:
         from repro.io.results import fault_sweep_to_json
 
@@ -566,6 +630,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--source", type=int, default=None)
     p.add_argument("--limit", type=int, default=60,
                    help="max trace lines to print")
+    p.add_argument("--channel", choices=["none", "ideal", "sinr"],
+                   default="none",
+                   help="PHY model for the data-plane broadcast "
+                        "(construction always runs ideal)")
+    p.add_argument("--mac", choices=["instant", "csma", "tdma"],
+                   default="instant",
+                   help="contention MAC under the chosen channel")
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("ratio", help="empirical MCDS approximation ratios")
@@ -618,6 +689,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--parallel", type=int, default=1)
     _add_resilience_args(p)
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
+        "channel",
+        help="delivery under SINR interference and MAC contention",
+    )
+    p.add_argument("--nodes", "-n", type=int, default=100)
+    p.add_argument("--degree", "-d", type=float, default=8.0)
+    p.add_argument("--trials", type=int, default=8)
+    p.add_argument("--losses", type=float, nargs="+", default=[0.0],
+                   help="i.i.d. loss probabilities swept on top of the "
+                        "interference (default: pure interference)")
+    p.add_argument("--mac", choices=["instant", "csma", "tdma"],
+                   default="csma")
+    p.add_argument("--alpha", type=float, default=3.0,
+                   help="pathloss exponent")
+    p.add_argument("--threshold", type=float, default=4.0,
+                   help="required SINR (linear)")
+    p.add_argument("--noise-margin", type=float, default=2.0,
+                   help="clear-channel SNR headroom of a max-range link")
+    p.add_argument("--frame", type=int, default=8,
+                   help="TDMA frame length (tdma MAC only)")
+    p.add_argument("--crash-fraction", type=float, default=0.0,
+                   help="per-trial crashed-node fraction (the fault sweep "
+                        "under interference)")
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.add_argument("--json", help="also write sweep points to this JSON "
+                                  "file (fault-sweep schema)")
+    p.add_argument("--backend", choices=["serial", "thread", "process"],
+                   default=None,
+                   help="execution backend for the sweep (identical results)")
+    p.add_argument("--parallel", type=int, default=1)
+    _add_resilience_args(p)
+    p.set_defaults(func=_cmd_channel)
 
     p = sub.add_parser("mobility", help="backbone churn under movement")
     _add_network_args(p)

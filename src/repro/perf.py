@@ -1,10 +1,12 @@
 """Per-stage performance instrumentation.
 
-Lightweight wall-clock/call counters on the trial pipeline's six stages —
-``placement``, ``construction``, ``clustering``, ``coverage``, ``selection``
-and ``broadcast`` — so sweeps can report *where* their time goes instead of
-one opaque total.  The ``repro perf`` CLI subcommand and
-``benchmarks/bench_trials_parallel.py`` are the consumers.
+Lightweight wall-clock/call counters on the trial pipeline's stages —
+``placement``, ``construction``, ``clustering``, ``coverage``,
+``selection``, ``broadcast`` and ``channel`` (PHY/MAC decision time, which
+nests inside ``broadcast`` and is attributed exclusively) — so sweeps can
+report *where* their time goes instead of one opaque total.  The ``repro
+perf`` CLI subcommand and ``benchmarks/bench_trials_parallel.py`` are the
+consumers.
 
 Design constraints:
 
@@ -43,6 +45,7 @@ STAGES = (
     "coverage",
     "selection",
     "broadcast",
+    "channel",
 )
 
 _enabled = os.environ.get("REPRO_PERF", "") not in ("", "0")

@@ -27,6 +27,12 @@ from repro.sim.node import SimNode
 from repro.types import NodeId, NodeRole, PruningLevel
 
 
+def _channel_counters(network: SimNetwork) -> Optional[Dict[str, int]]:
+    """The medium's PHY/MAC counters, or ``None`` on the bare medium."""
+    channel = network.medium.channel
+    return None if channel is None else channel.stats().as_dict()
+
+
 class DistributedSIBroadcast:
     """Flooding restricted to a source-independent CDS.
 
@@ -100,6 +106,7 @@ class DistributedSIBroadcast:
             received=frozenset(reception),
             reception_time=reception,
             transmissions=len(forwarded),
+            channel=_channel_counters(self.network),
         )
 
 
@@ -262,4 +269,5 @@ class DistributedSDBroadcast:
             received=frozenset(reception),
             reception_time=reception,
             transmissions=self.transmissions,
+            channel=_channel_counters(self.network),
         )

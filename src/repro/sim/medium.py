@@ -1,22 +1,38 @@
-"""The ideal unit-disk wireless broadcast medium.
+"""The unit-disk wireless broadcast medium and its realism overlays.
 
 A transmission by node ``s`` is delivered to every unit-disk neighbour of
-``s`` after ``latency`` time units.  The paper assumes collision/contention
-handling below the network layer, so the medium is lossless and
-collision-free; an optional per-delivery **loss probability** exists for
-robustness experiments (delivery then becomes a property of the protocol,
-not a guarantee).
+``s`` after ``latency`` time units.  By default that reproduces the paper's
+assumption of collision/contention handling below the network layer; three
+*overlay* knobs degrade it without ever mutating the :class:`Graph`:
 
-Delivery ordering is deterministic: simultaneous deliveries fire in
-``(sender id, receiver id)`` order, matching the centralised algorithms'
-tie-breaking (see :mod:`repro.sim.events`).
+* an i.i.d. per-delivery **loss probability** (the robustness experiments'
+  knob — delivery becomes a property of the protocol, not a guarantee);
+* a :class:`FaultHook` (crashes, link cuts, loss/duplication windows —
+  :class:`repro.faults.injector.FaultInjector` is the implementation),
+  consulted at transmit and delivery time;
+* a :class:`~repro.channel.model.ChannelModel` (the PHY/MAC seam, same
+  overlay style): a contention MAC decides *when* a transmission airs, and
+  an interference model such as :class:`~repro.channel.sinr.SinrChannel`
+  decides per copy whether it survives the air.  The identity
+  :class:`~repro.channel.model.IdealChannel` leaves the medium bit-exact.
+
+Composition order is fixed and deterministic: the fault hook gates the
+sender first (a crashed radio airs nothing and interferes with nothing),
+the loss draw and the hook's per-link copies apply at air time, and at
+delivery time the receiver's crash gate runs before the channel's capture
+decision.  Simultaneous deliveries fire in ``(sender id, receiver id)``
+order, matching the centralised algorithms' tie-breaking (see
+:mod:`repro.sim.events`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, Optional, Tuple
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - layering: channel imports stay lazy
+    from repro.channel.model import ChannelModel
 from repro.graph.adjacency import Graph
 from repro.rng import RngLike, ensure_rng
 from repro.sim.engine import Simulator
@@ -74,6 +90,8 @@ class WirelessMedium:
         loss_probability: Per-delivery drop chance (0 = ideal channel).
         rng: Seed or generator (used only when losses are enabled).
         trace: Optional shared recorder; one is created when omitted.
+        channel: Optional :class:`~repro.channel.model.ChannelModel`
+            overlay (PHY/MAC realism); ``None`` keeps the bare medium.
     """
 
     def __init__(
@@ -85,6 +103,7 @@ class WirelessMedium:
         loss_probability: float = 0.0,
         rng: RngLike = None,
         trace: Optional[TraceRecorder] = None,
+        channel: Optional["ChannelModel"] = None,
     ) -> None:
         if latency <= 0:
             raise SimulationError(f"latency must be positive, got {latency}")
@@ -98,6 +117,21 @@ class WirelessMedium:
         self._receivers: Dict[NodeId, DeliveryHandler] = {}
         #: Optional fault filter (see :class:`FaultHook`); ``None`` = ideal.
         self.fault_hook: Optional[FaultHook] = None
+        #: Optional PHY/MAC overlay; ``None`` = the bare instant medium.
+        self.channel: Optional["ChannelModel"] = None
+        if channel is not None:
+            self.set_channel(channel)
+
+    def set_channel(self, channel: Optional["ChannelModel"]) -> None:
+        """Attach (or with ``None`` detach) the channel-model overlay.
+
+        Binding hands the model the medium so it can read the topology,
+        latency and clock; the unit-disk graph itself is never mutated, so
+        detaching restores the bare medium bit-for-bit.
+        """
+        self.channel = channel
+        if channel is not None:
+            channel.bind(self)
 
     def update_graph(self, graph: Graph) -> None:
         """Swap the topology under a running simulation (mobility).
@@ -149,13 +183,39 @@ class WirelessMedium:
                 yield receiver, copies
 
     def transmit(self, sender: NodeId, message: Message) -> None:
-        """Broadcast ``message`` from ``sender`` to all its neighbours."""
+        """Broadcast ``message`` from ``sender`` to all its neighbours.
+
+        With a channel attached, its MAC may defer the on-air instant (the
+        wait is scheduled through the event engine) or drop the packet
+        outright; a zero delay airs inline, preserving the bare medium's
+        event structure exactly.
+        """
         if sender not in self.graph:
             raise SimulationError(f"unknown sender {sender}")
         if self.fault_hook is not None and \
                 not self.fault_hook.can_transmit(sender):
             return  # crashed radio: nothing on the air, nothing traced
+        if self.channel is None:
+            self._air(sender, message)
+            return
+        delay = self.channel.air_delay(sender)
+        if delay is None:
+            return  # MAC attempt budget exhausted; counted by the MAC
+        if delay <= 0.0:
+            self._air(sender, message)
+        else:
+            self.sim.schedule(
+                delay,
+                lambda s=sender, m=message: self._air(s, m),
+                priority=(sender,),
+            )
+
+    def _air(self, sender: NodeId, message: Message) -> None:
+        """Put ``message`` on the air *now* and plan its deliveries."""
+        if self.channel is not None:
+            self.channel.on_air(sender, self.sim.now)
         self.trace.record(self.sim.now, sender, message)
+        air_time = self.sim.now
         for receiver, copies in self._plan_deliveries(sender):
             handler = self._receivers.get(receiver)
             if handler is None:
@@ -164,16 +224,25 @@ class WirelessMedium:
                 self.sim.schedule(
                     self.latency,
                     # bind loop variables explicitly
-                    lambda h=handler, r=receiver, s=sender, m=message:
-                        self._deliver_if_up(h, r, s, m),
+                    lambda h=handler, r=receiver, s=sender, m=message,
+                           t=air_time: self._deliver_if_up(h, r, s, m, t),
                     priority=(sender, receiver),
                 )
 
     def _deliver_if_up(self, handler: DeliveryHandler, receiver: NodeId,
-                       sender: NodeId, message: Message) -> None:
-        """Hand the packet over unless the receiver is down *right now*."""
+                       sender: NodeId, message: Message,
+                       air_time: float = 0.0) -> None:
+        """Hand the packet over unless the receiver is down *right now*.
+
+        Gate order is part of the determinism contract: the fault hook's
+        crash gate runs before the channel's capture decision (a packet a
+        dead node never hears cannot count as a collision).
+        """
         if self.fault_hook is not None and \
                 not self.fault_hook.can_deliver(receiver):
+            return
+        if self.channel is not None and \
+                not self.channel.accepts(sender, receiver, air_time):
             return
         handler(receiver, sender, message)
 
@@ -193,6 +262,21 @@ class CollisionMedium(WirelessMedium):
     their relays — see the ``jitter_slots`` option of the distributed
     broadcast protocols.
     """
+
+    def set_channel(self, channel: Optional["ChannelModel"]) -> None:
+        """Reject channel overlays — the slot-collision rule *is* the PHY.
+
+        :class:`CollisionMedium` and :class:`~repro.channel.model.ChannelModel`
+        are alternative realism layers; compose a
+        :class:`~repro.channel.sinr.SinrChannel` with a plain
+        :class:`WirelessMedium` for the SINR treatment of the same effect.
+        """
+        if channel is not None:
+            raise SimulationError(
+                "CollisionMedium cannot carry a ChannelModel — attach the "
+                "channel to a plain WirelessMedium instead"
+            )
+        super().set_channel(channel)
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, Optional
 
 from repro.graph.adjacency import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - layering: channel imports stay lazy
+    from repro.channel.model import ChannelModel
 from repro.rng import RngLike
 from repro.sim.engine import Simulator
 from repro.sim.medium import CollisionMedium, WirelessMedium
@@ -24,6 +27,9 @@ class SimNetwork:
         collisions: Use a :class:`~repro.sim.medium.CollisionMedium`, where
             packets arriving at a host in the same slot destroy each other
             (broadcast-storm experiments).
+        channel: Optional :class:`~repro.channel.model.ChannelModel` —
+            SINR/interference reception and MAC contention (mutually
+            exclusive with ``collisions``; see docs/channel.md).
     """
 
     def __init__(
@@ -35,6 +41,7 @@ class SimNetwork:
         rng: RngLike = None,
         trace: Optional[TraceRecorder] = None,
         collisions: bool = False,
+        channel: Optional["ChannelModel"] = None,
     ) -> None:
         self.graph = graph
         self.sim = Simulator()
@@ -46,6 +53,7 @@ class SimNetwork:
             loss_probability=loss_probability,
             rng=rng,
             trace=trace,
+            channel=channel,
         )
         self.nodes: Dict[NodeId, SimNode] = {
             v: SimNode(v, self.medium) for v in graph.nodes()

@@ -14,6 +14,7 @@ from repro.workload.experiments import (
     run_fig8,
     run_flooding_comparison,
 )
+from repro.workload.contention import ContentionPoint, run_contention_sweep
 from repro.workload.faultsweep import FaultSweepPoint, run_fault_sweep
 from repro.workload.robustness import RobustnessPoint, run_robustness_sweep
 from repro.workload.scaling import ScalingPoint, run_scaling_study
@@ -27,6 +28,8 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_flooding_comparison",
+    "ContentionPoint",
+    "run_contention_sweep",
     "FaultSweepPoint",
     "run_fault_sweep",
     "RobustnessPoint",

@@ -33,7 +33,20 @@ class TestIdealChannel:
 
     def test_bad_loss_rejected(self, fig3_clustering):
         with pytest.raises(BroadcastError):
-            broadcast_reliable_tree(fig3_clustering, 1, loss_probability=1.0)
+            broadcast_reliable_tree(fig3_clustering, 1, loss_probability=1.5)
+        with pytest.raises(BroadcastError):
+            broadcast_reliable_tree(fig3_clustering, 1, loss_probability=-0.1)
+
+    def test_total_loss_accepted_like_the_medium(self, fig3_clustering):
+        # Regression: the validation used to reject 1.0 while the medium's
+        # knob accepts the whole closed interval [0, 1].  At total loss
+        # every hop exhausts its budget and gives up; nobody but the
+        # source receives.
+        rb = broadcast_reliable_tree(
+            fig3_clustering, 1, loss_probability=1.0, max_retries=2, rng=0
+        )
+        assert rb.result.received == frozenset({1})
+        assert rb.gave_up
 
     @settings(max_examples=25, deadline=None)
     @given(graph=connected_graphs())

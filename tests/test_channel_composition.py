@@ -1,0 +1,142 @@
+"""Property tests: the channel seam composes with faults deterministically.
+
+Pins down the two contracts from :mod:`repro.sim.medium`'s docstring:
+
+* **Identity** — an :class:`~repro.channel.model.IdealChannel` without a MAC
+  leaves every run bit-identical to the bare medium, including runs that
+  already carry losses and a fault schedule;
+* **Composition order** — the fault hook's crash gate runs before the
+  channel's capture decision, and a duplication fault multiplies copies
+  *before* each copy faces the SINR test.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import IdealChannel, SinrChannel, SlottedCsmaMac
+from repro.channel.model import ChannelModel
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import (
+    DuplicationWindow,
+    FaultSchedule,
+    NodeDown,
+    apply_schedule,
+    random_schedule,
+)
+from repro.graph.adjacency import Graph
+from repro.protocols.broadcast import DistributedSIBroadcast
+from repro.sim.network import SimNetwork
+
+from strategies import geometric_networks
+
+
+def flood_under_faults(graph, schedule, *, channel, loss, loss_seed,
+                       fault_seed, source):
+    net = SimNetwork(graph, loss_probability=loss, rng=loss_seed,
+                     channel=channel)
+    injector = FaultInjector(net, rng=fault_seed)
+    apply_schedule(schedule, injector)
+    protocol = DistributedSIBroadcast(net, graph.nodes())
+    protocol.start(source)
+    net.run_phase()
+    return protocol.result(), net.trace.entries
+
+
+class RecordingChannel(ChannelModel):
+    """Identity channel that logs every ``accepts`` consultation."""
+
+    def __init__(self):
+        super().__init__()
+        self.consulted = []
+
+    def accepts(self, sender, receiver, air_time):
+        self.consulted.append((sender, receiver))
+        return True
+
+
+class TestIdealIdentity:
+    @settings(max_examples=15, deadline=None)
+    @given(network=geometric_networks(max_nodes=25),
+           loss=st.sampled_from([0.0, 0.2, 0.5]),
+           seed=st.integers(0, 2**16))
+    def test_identity_holds_under_loss_and_faults(self, network, loss, seed):
+        graph = network.graph
+        schedule = random_schedule(graph, horizon=5.0, crash_fraction=0.2,
+                                   protect=(0,), rng=seed)
+        kw = dict(schedule=schedule, loss=loss, loss_seed=seed,
+                  fault_seed=seed + 1, source=0)
+        bare, bare_trace = flood_under_faults(graph, channel=None, **kw)
+        ideal, ideal_trace = flood_under_faults(
+            graph, channel=IdealChannel(), **kw
+        )
+        assert bare_trace == ideal_trace
+        assert bare.received == ideal.received
+        assert bare.reception_time == ideal.reception_time
+        assert bare.transmissions == ideal.transmissions
+
+    @settings(max_examples=10, deadline=None)
+    @given(network=geometric_networks(max_nodes=25),
+           seed=st.integers(0, 2**16))
+    def test_sinr_csma_is_a_pure_function_of_the_seed(self, network, seed):
+        def run():
+            channel = SinrChannel(network, mac=SlottedCsmaMac(rng=seed))
+            net = SimNetwork(network.graph, channel=channel)
+            p = DistributedSIBroadcast(net, network.graph.nodes())
+            p.start(0)
+            net.run_phase()
+            return p.result(), net.trace.entries
+
+        (r1, t1), (r2, t2) = run(), run()
+        assert t1 == t2
+        assert r1.received == r2.received
+        assert r1.channel == r2.channel
+
+
+class TestCompositionOrder:
+    def test_crash_gates_before_the_channel(self):
+        # Node 1 is down before the packet lands: the channel must never
+        # be consulted for it — a packet a dead node cannot hear must not
+        # count toward collision statistics.
+        graph = Graph(edges=[(0, 1), (0, 2)])
+        channel = RecordingChannel()
+        net = SimNetwork(graph, channel=channel)
+        injector = FaultInjector(net)
+        apply_schedule(FaultSchedule([NodeDown(time=0.5, node=1)]), injector)
+        protocol = DistributedSIBroadcast(net, graph.nodes())
+        protocol.start(0)
+        net.run_phase()
+        receivers = {r for _, r in channel.consulted}
+        assert 1 not in receivers
+        assert 2 in receivers
+
+    def test_copies_multiply_before_capture(self):
+        # A duplication window doubles deliveries; each copy must face the
+        # channel separately (two consultations for the same link).
+        graph = Graph(edges=[(0, 1)])
+        channel = RecordingChannel()
+        net = SimNetwork(graph, channel=channel)
+        injector = FaultInjector(net, rng=0)
+        apply_schedule(
+            FaultSchedule([DuplicationWindow(time=0.0, probability=1.0,
+                                             duration=100.0)]),
+            injector,
+        )
+        protocol = DistributedSIBroadcast(net, graph.nodes())
+        protocol.start(0)
+        net.run_phase()
+        assert channel.consulted.count((0, 1)) == 2
+
+    def test_crashed_sender_never_reaches_the_mac(self):
+        # can_transmit gates first: a crashed radio draws no backoff and
+        # reserves no slot.
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        mac = SlottedCsmaMac(rng=0)
+        net = SimNetwork(graph, channel=IdealChannel(mac=mac))
+        injector = FaultInjector(net)
+        apply_schedule(FaultSchedule([NodeDown(time=0.0, node=1)]), injector)
+        protocol = DistributedSIBroadcast(net, graph.nodes())
+        protocol.start(0)
+        net.run_phase()
+        # Only node 0 transmits (1 is down, 2 never hears the packet).
+        assert net.trace.total_messages == 1
+        assert mac.drops == 0

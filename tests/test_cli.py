@@ -16,7 +16,7 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for cmd in ("generate", "cluster", "backbone", "broadcast",
-                    "experiment", "trace", "ratio", "faults"):
+                    "experiment", "trace", "ratio", "faults", "channel"):
             assert cmd in text
 
 
@@ -137,6 +137,32 @@ class TestExtensionCommands:
         spec.write_text("{nope")
         assert main(["faults", "-n", "10", "--schedule", str(spec)]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_channel_sweep_table(self, tmp_path, capsys):
+        out = tmp_path / "contention.json"
+        assert main(["channel", "-n", "20", "-d", "8", "--seed", "4",
+                     "--trials", "2", "--losses", "0", "0.2",
+                     "--json", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "delivery by loss" in text and "collisions by loss" in text
+        doc = json.loads(out.read_text())
+        assert doc["format"] == "repro-fault-sweep"
+        assert len(doc["points"]) == 2
+
+    def test_channel_tdma_mac(self, capsys):
+        assert main(["channel", "-n", "15", "-d", "6", "--trials", "2",
+                     "--mac", "tdma", "--frame", "4"]) == 0
+        assert "mac=tdma" in capsys.readouterr().out
+
+    def test_trace_with_channel(self, capsys):
+        assert main(["trace", "-n", "20", "-d", "8", "--seed", "2",
+                     "--channel", "sinr", "--mac", "csma"]) == 0
+        out = capsys.readouterr().out
+        assert "channel [sinr/csma]:" in out and "collisions" in out
+
+    def test_trace_sinr_needs_positions(self, capsys):
+        assert main(["trace", "--figure3", "--channel", "sinr"]) == 1
+        assert "positions" in capsys.readouterr().err
 
     def test_route(self, capsys):
         assert main(["route", "-n", "25", "-d", "8", "--source", "0"]) == 0
