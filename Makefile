@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper bench-topology bench-faults bench-channel bench-parallel chaos figures examples lint clean
+.PHONY: install test bench bench-paper bench-topology bench-faults bench-channel bench-broadcast bench-parallel chaos figures examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -27,6 +27,9 @@ bench-faults:
 
 bench-channel:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_channel.py --gate
+
+bench-broadcast:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_broadcast_kernels.py --gate
 
 bench-parallel:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_trials_parallel.py

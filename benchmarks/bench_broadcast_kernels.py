@@ -1,0 +1,195 @@
+"""Batched broadcast-kernel benchmark with an equivalence + regression gate.
+
+Measures the ``broadcast`` perf stage on the flooding-comparison metric
+(blind flooding + SI-CDS + SD-CDS delivery per trial) at n=2000 two ways:
+
+* **reference** — per-item trial calls, delivery on the object-path
+  algorithms (what every point below ``kernels.KERNEL_CUTOVER`` runs);
+* **kernel** — one ``run_batch`` wave of ``--batch`` trials through the
+  union-stacked array kernels (`docs/broadcast_kernels.md`).
+
+The two routes alternate inside one process, best-of-``--reps`` each, so
+machine-load drift hits both sides equally — the speedup is the honest
+ratio, not an artefact of when each side ran.  Before any timing, a
+sample wave is checked **bit-identical** to its per-item replay; the
+bench refuses to report a speedup for a kernel that does not reproduce
+the reference numbers.
+
+Modes (same discipline as ``bench_csr_construction.py``):
+
+* default: measure and print;
+* ``--update``: also append the point to ``BENCH_trials.json``
+  (label ``broadcast-kernels-n2000-b128``);
+* ``--gate``: fail (exit 1) when the measured speedup drops below
+  ``0.7x`` the committed point — the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro import perf
+from repro.exec.scenarios import connected_scenario
+from repro.exec.spec import TrialSpec, resolve_cached
+from repro.geometry.area import Area
+from repro.io.results import append_perf_point, latest_perf_point
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_trials.json"
+
+#: Fail the ``--gate`` run below this fraction of the committed speedup.
+REGRESSION_FLOOR = 0.7
+
+#: Stages the kernel route times itself under (the reference route books
+#: everything under the engine-era ``broadcast`` stage).
+KERNEL_STAGES = ("broadcast.flooding", "broadcast.si", "broadcast.sd")
+
+
+def _stage_seconds(counters: dict, stages) -> float:
+    return sum(counters[s]["seconds"] for s in stages if s in counters)
+
+
+def _items(seed: int, count: int, start: int = 0):
+    seeds = np.random.SeedSequence(seed).spawn(start + count)[start:]
+    return [(start + k, np.random.default_rng(s))
+            for k, s in enumerate(seeds)]
+
+
+def run_bench(*, n: int = 2000, degree: float = 10.0, batch: int = 128,
+              ref_trials: int = 32, reps: int = 4, seed: int = 9,
+              scenario_root: int = 99) -> dict:
+    """Interleaved best-of-``reps`` broadcast-stage timings, both routes."""
+    area = Area.paper()
+    spec = TrialSpec.create(
+        "repro.workload.experiments:make_figure_trial",
+        metrics="flooding", n=n, degree=degree,
+        width=float(area.width), height=float(area.height),
+        scenario_root=scenario_root,
+    )
+    trial = resolve_cached(spec)
+    run_batch = getattr(trial, "run_batch", None)
+    assert run_batch is not None, (
+        f"n={n} is below KERNEL_CUTOVER; nothing to measure"
+    )
+
+    print(f"warming {batch} scenarios at n={n} d={degree} ...", flush=True)
+    for index in range(batch):
+        connected_scenario(n, degree, root=scenario_root, index=index)
+
+    # Equivalence first: a wave must replay its per-item calls bit for
+    # bit (same spawned streams on both sides).
+    wave = run_batch(_items(seed, batch))
+    replay = [trial(k, g) for k, g in _items(seed, ref_trials)]
+    assert wave[:ref_trials] == replay, (
+        "kernel wave diverged from per-item replay — refusing to time a "
+        "non-equivalent kernel"
+    )
+
+    was_enabled = perf.enabled()
+    perf.enable()
+    try:
+        ref_best = kernel_best = float("inf")
+        for rep in range(reps):
+            before = perf.snapshot()
+            for k, g in _items(seed + 1 + rep, ref_trials):
+                trial(k, g)
+            mid = perf.snapshot()
+            run_batch(_items(seed + 1 + rep, batch))
+            after = perf.snapshot()
+            ref_s = (_stage_seconds(mid, ("broadcast",))
+                     - _stage_seconds(before, ("broadcast",)))
+            kernel_s = (_stage_seconds(after, KERNEL_STAGES)
+                        - _stage_seconds(mid, KERNEL_STAGES))
+            ref_best = min(ref_best, ref_s / ref_trials)
+            kernel_best = min(kernel_best, kernel_s / batch)
+            print(f"  rep {rep}: ref {1e3 * ref_s / ref_trials:.2f} "
+                  f"ms/trial, kernel {1e3 * kernel_s / batch:.2f} ms/trial",
+                  flush=True)
+    finally:
+        perf.enable(was_enabled)
+
+    speedup = ref_best / kernel_best
+    return {
+        "label": f"broadcast-kernels-n{n}-b{batch}",
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "n": n,
+        "degree": degree,
+        "batch": batch,
+        "ref_trials": ref_trials,
+        "reps": reps,
+        "seed": seed,
+        "equivalent": True,
+        "ref_ms_per_trial": round(1e3 * ref_best, 3),
+        "kernel_ms_per_trial": round(1e3 * kernel_best, 3),
+        "speedup": round(speedup, 2),
+        "kernel_trials_per_sec": round(1.0 / kernel_best, 1),
+    }
+
+
+def check_gate(summary: dict, bench_file: Path) -> None:
+    """Fail when the kernel speedup regressed past the floor."""
+    previous = latest_perf_point(bench_file, summary["label"])
+    if previous is None:
+        return
+    floor = REGRESSION_FLOOR * float(previous["speedup"])
+    assert summary["speedup"] >= floor, (
+        f"broadcast kernels regressed: {summary['speedup']:.2f}x < "
+        f"{floor:.2f}x (70% of the committed {previous['speedup']:.2f}x "
+        f"from {previous.get('timestamp')})"
+    )
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=2000)
+    parser.add_argument("--degree", type=float, default=10.0)
+    parser.add_argument("--batch", type=int, default=128)
+    parser.add_argument("--ref-trials", type=int, default=32)
+    parser.add_argument("--reps", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=9)
+    parser.add_argument("--gate", action="store_true",
+                        help="fail below 0.7x the committed speedup "
+                             "(implies --no-record)")
+    parser.add_argument("--update", action="store_true",
+                        help="record a fresh baseline point")
+    parser.add_argument("--json", action="store_true")
+    parser.add_argument("--bench-file", type=Path, default=BENCH_FILE)
+    args = parser.parse_args(argv)
+
+    summary = run_bench(n=args.n, degree=args.degree, batch=args.batch,
+                        ref_trials=args.ref_trials, reps=args.reps,
+                        seed=args.seed)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"broadcast stage at n={summary['n']} d={summary['degree']} "
+              f"(batch {summary['batch']}, equivalence checked)")
+        print(f"  reference {summary['ref_ms_per_trial']:>8.3f} ms/trial")
+        print(f"  kernels   {summary['kernel_ms_per_trial']:>8.3f} ms/trial "
+              f"({summary['kernel_trials_per_sec']:,.0f} trials/s)")
+        print(f"  speedup   {summary['speedup']:>8.2f}x")
+    if args.gate:
+        try:
+            check_gate(summary, args.bench_file)
+        except AssertionError as exc:
+            print(f"FAIL: {exc}")
+            return 1
+        previous = latest_perf_point(args.bench_file, summary["label"])
+        base = (f"{previous['speedup']:.2f}x committed"
+                if previous else "no committed baseline")
+        print(f"OK: broadcast-kernel gate passed ({base})")
+        return 0
+    if args.update:
+        length = append_perf_point(args.bench_file, summary)
+        print(f"recorded trajectory point {length} in {args.bench_file}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,8 @@ from repro import perf
 from repro.coverage.arrays import CoverageArrays
 from repro.coverage.entries import CoverageSet
 from repro.errors import BackboneError
+from repro.geometry.grid import grouped_ranges
+from repro.graph.csr import searchsorted_membership
 from repro.types import NodeId
 
 
@@ -223,35 +225,25 @@ def _sorted_unique_inverse(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     return keys[first], np.cumsum(first) - 1
 
 
-def select_gateways_batch(cov: CoverageArrays) -> BatchGatewaySelection:
-    """Run the greedy heuristic for **every** clusterhead at once.
+def _select_from_tables(
+    ids: np.ndarray,
+    n: int,
+    d_head: np.ndarray,
+    d_ch: np.ndarray,
+    d_v: np.ndarray,
+    i_head: np.ndarray,
+    i_ch: np.ndarray,
+    i_v: np.ndarray,
+    i_w: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Lock-step greedy selection over witness tables sorted by (head, ...).
 
-    The per-head greedy loop of :func:`select_gateways` vectorises across
-    heads: each iteration picks, for every head that still has uncovered
-    2-hop targets, its best first-hop candidate — largest direct gain,
-    then largest indirect gain, then lowest row — with segmented
-    ``reduceat`` passes over the candidate table, and covers/absorbs the
-    corresponding targets in bulk.  Heads are independent, so running
-    their iterations in lock-step changes nothing.  Phase 2 (leftover
-    3-hop targets) is a short Python loop over the few remaining targets,
-    identical to the set-based code.
-
-    Args:
-        cov: Batched coverage sets from the CSR coverage kernels.
-
-    Returns:
-        The selections in array form; materialising them per head is
-        bit-identical to :func:`select_gateways` on each head's
-        :class:`~repro.coverage.entries.CoverageSet`.
-
-    Raises:
-        BackboneError: if some 2-hop target has no witness (guards
-            corrupted input, as in :func:`select_gateways`).
+    The shared core of :func:`select_gateways_batch` (full tables) and
+    :func:`select_gateways_masked` (tables sliced to triggered heads with
+    excluded targets dropped).  Returns the connector columns
+    ``(conn_head, conn_ch, conn_v, conn_w)``; ``conn_w == -1`` marks a
+    2-hop target.
     """
-    n = cov.csr.num_nodes
-    d_head, d_ch, d_v = cov.d_head, cov.d_ch, cov.d_v
-    i_head, i_ch, i_v, i_w = cov.i_head, cov.i_ch, cov.i_v, cov.i_w
-
     # Slot tables: unique (head, ch) targets and unique (head, v) first-hop
     # candidates, with every witness row mapped onto its slots.  The
     # witness tables are sorted by (head, ch, ...), so the (head, ch) keys
@@ -331,7 +323,7 @@ def select_gateways_batch(cov: CoverageArrays) -> BatchGatewaySelection:
             rem3[u3_t[absorbed]] = False
     if rem2.any():
         bad = int(np.flatnonzero(rem2)[0])
-        head_id = int(cov.csr.ids[t2_keys[bad] // n])
+        head_id = int(ids[t2_keys[bad] // n])
         raise BackboneError(
             f"head {head_id}: some 2-hop targets have no remaining witness"
         )
@@ -378,10 +370,112 @@ def select_gateways_batch(cov: CoverageArrays) -> BatchGatewaySelection:
         cw_parts.append(np.asarray(p_w, dtype=np.int64))
 
     empty = np.empty(0, dtype=np.int64)
+    return (
+        np.concatenate(ch_parts) if ch_parts else empty,
+        np.concatenate(cc_parts) if cc_parts else empty,
+        np.concatenate(cv_parts) if cv_parts else empty,
+        np.concatenate(cw_parts) if cw_parts else empty,
+    )
+
+
+def select_gateways_batch(cov: CoverageArrays) -> BatchGatewaySelection:
+    """Run the greedy heuristic for **every** clusterhead at once.
+
+    The per-head greedy loop of :func:`select_gateways` vectorises across
+    heads: each iteration picks, for every head that still has uncovered
+    2-hop targets, its best first-hop candidate — largest direct gain,
+    then largest indirect gain, then lowest row — with segmented
+    ``reduceat`` passes over the candidate table, and covers/absorbs the
+    corresponding targets in bulk.  Heads are independent, so running
+    their iterations in lock-step changes nothing.  Phase 2 (leftover
+    3-hop targets) is a short Python loop over the few remaining targets,
+    identical to the set-based code.
+
+    Args:
+        cov: Batched coverage sets from the CSR coverage kernels.
+
+    Returns:
+        The selections in array form; materialising them per head is
+        bit-identical to :func:`select_gateways` on each head's
+        :class:`~repro.coverage.entries.CoverageSet`.
+
+    Raises:
+        BackboneError: if some 2-hop target has no witness (guards
+            corrupted input, as in :func:`select_gateways`).
+    """
+    conn_head, conn_ch, conn_v, conn_w = _select_from_tables(
+        cov.csr.ids,
+        cov.csr.num_nodes,
+        cov.d_head,
+        cov.d_ch,
+        cov.d_v,
+        cov.i_head,
+        cov.i_ch,
+        cov.i_v,
+        cov.i_w,
+    )
     return BatchGatewaySelection(
         cov=cov,
-        conn_head=np.concatenate(ch_parts) if ch_parts else empty,
-        conn_ch=np.concatenate(cc_parts) if cc_parts else empty,
-        conn_v=np.concatenate(cv_parts) if cv_parts else empty,
-        conn_w=np.concatenate(cw_parts) if cw_parts else empty,
+        conn_head=conn_head,
+        conn_ch=conn_ch,
+        conn_v=conn_v,
+        conn_w=conn_w,
+    )
+
+
+def _rows_for_heads(table_head: np.ndarray, head_rows: np.ndarray) -> np.ndarray:
+    """Flat indices of the table rows belonging to ``head_rows``.
+
+    ``table_head`` is the (non-decreasing) head column of a witness table;
+    ``head_rows`` must be sorted ascending so the gathered rows stay in
+    (head, ...) order.
+    """
+    starts = np.searchsorted(table_head, head_rows)
+    counts = np.searchsorted(table_head, head_rows + 1) - starts
+    return grouped_ranges(starts, counts)
+
+
+@perf.timed("selection")
+def select_gateways_masked(
+    cov: CoverageArrays,
+    head_rows: np.ndarray,
+    excl_keys: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Selections for ``head_rows`` only, with some targets excluded.
+
+    Attributed to the ``selection`` perf stage like :func:`select_gateways`
+    — the SD broadcast kernel calls this mid-delivery, and the stage split
+    must match the reference path's.
+
+    Equivalent to running :func:`select_gateways` per head on
+    ``coverage.restricted(all_targets - exclusions)``: dropping a target's
+    witness rows before selection is exactly what ``restricted`` does to
+    the per-head coverage set.  The SD-CDS kernel calls this once per
+    propagation level for all heads triggered at that step.
+
+    Args:
+        cov: Batched coverage sets over the (possibly stacked) CSR.
+        head_rows: Triggered head rows, sorted ascending.
+        excl_keys: Sorted ``head * n + ch`` keys (rows) of the excluded
+            (head, target) pairs — each head's exclusion set, flattened.
+
+    Returns:
+        Connector columns ``(conn_head, conn_ch, conn_v, conn_w)`` with
+        ``conn_w == -1`` marking 2-hop targets; each head's gateway set is
+        the union of its connector relays.
+    """
+    n = cov.csr.num_nodes
+    d_sel = _rows_for_heads(cov.d_head, head_rows)
+    i_sel = _rows_for_heads(cov.i_head, head_rows)
+    d_head, d_ch, d_v = cov.d_head[d_sel], cov.d_ch[d_sel], cov.d_v[d_sel]
+    i_head, i_ch = cov.i_head[i_sel], cov.i_ch[i_sel]
+    i_v, i_w = cov.i_v[i_sel], cov.i_w[i_sel]
+    if excl_keys.shape[0]:
+        keep = ~searchsorted_membership(excl_keys, d_head * n + d_ch)
+        d_head, d_ch, d_v = d_head[keep], d_ch[keep], d_v[keep]
+        keep = ~searchsorted_membership(excl_keys, i_head * n + i_ch)
+        i_head, i_ch = i_head[keep], i_ch[keep]
+        i_v, i_w = i_v[keep], i_w[keep]
+    return _select_from_tables(
+        cov.csr.ids, n, d_head, d_ch, d_v, i_head, i_ch, i_v, i_w
     )

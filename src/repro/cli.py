@@ -238,8 +238,27 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _perf_broadcast_breakdown(counters) -> dict:
+    """Per-protocol broadcast seconds out of the stage counters.
+
+    The delivery kernels time themselves under ``broadcast.flooding`` /
+    ``broadcast.si`` / ``broadcast.sd``; sub-cutover points run the event
+    engine's single ``broadcast`` stage.  Both appear here so the split
+    between kernel and engine time is visible at a glance.
+    """
+    labels = {"broadcast.flooding": "flooding", "broadcast.si": "si-cds",
+              "broadcast.sd": "sd-cds", "broadcast": "engine"}
+    breakdown = {
+        label: counters[stage]["seconds"]
+        for stage, label in labels.items() if stage in counters
+    }
+    breakdown["total"] = sum(breakdown.values())
+    return breakdown
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     import json as _json
+    import time as _time
 
     from repro import perf
     from repro.exec.scenarios import get_scenario_cache
@@ -264,15 +283,31 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     if args.mem:
         perf.enable_memory()
     perf.reset()
+    t0 = _time.perf_counter()
     try:
-        runners[args.figure](env, backend=args.backend, parallel=args.parallel)
+        tables = runners[args.figure](env, backend=args.backend,
+                                      parallel=args.parallel)
     finally:
+        wall = _time.perf_counter() - t0
         counters = perf.snapshot()
         perf.enable(was_enabled)
         perf.enable_memory(was_mem)
+    # Every metric of a point folds the same trial count, so one series
+    # per table counts the whole sweep.
+    trials = sum(
+        point.estimate.samples
+        for table in tables.values()
+        for point in table.series[0].points
+    )
+    trials_per_sec = trials / wall if wall > 0 else 0.0
+    breakdown = _perf_broadcast_breakdown(counters)
     if args.json:
         payload = {"figure": args.figure, "backend": args.backend,
                    "parallel": args.parallel, "stages": counters,
+                   "trials": trials,
+                   "wall_seconds": round(wall, 3),
+                   "trials_per_sec": round(trials_per_sec, 2),
+                   "broadcast_breakdown": breakdown,
                    "scenario_cache": cache.stats()}
         if args.mem:
             payload["peak_rss_bytes"] = perf.peak_rss_bytes()
@@ -281,6 +316,15 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         print(f"{args.figure} on backend={args.backend} "
               f"parallel={args.parallel} (seed {args.seed})")
         print(perf.render_report(counters))
+        if breakdown["total"] > 0.0:
+            print("broadcast breakdown:")
+            for label, seconds in breakdown.items():
+                if label == "total":
+                    continue
+                share = seconds / breakdown["total"]
+                print(f"  {label:<9} {seconds:>8.3f}s {share:>5.0%}")
+        print(f"throughput: {trials} trials in {wall:.2f}s "
+              f"({trials_per_sec:.1f} trials/s)")
         stats = cache.stats()
         print(f"scenario cache: {stats['hits']} hits / "
               f"{stats['misses']} misses ({stats['entries']} entries)")

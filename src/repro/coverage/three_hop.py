@@ -21,7 +21,12 @@ from repro.cluster.state import ClusterStructure
 from repro.coverage.arrays import CoverageArrays
 from repro.coverage.entries import CoverageSet, WitnessPair, freeze_witnesses
 from repro.errors import CoverageError
-from repro.graph.csr import CSRGraph, searchsorted_membership, sort_quads
+from repro.graph.csr import (
+    CSRGraph,
+    searchsorted_membership,
+    sort_quads,
+    sort_triples,
+)
 from repro.types import CoveragePolicy, NodeId
 
 if TYPE_CHECKING:
@@ -189,17 +194,17 @@ def three_hop_arrays(csr: CSRGraph, head_row: np.ndarray) -> CoverageArrays:
     i_head, i_ch, i_v, i_w = (
         np.concatenate(p) if p else empty for p in i_parts
     )
-    # Packed single-key sorts, as in the 2.5-hop kernel: sort the packed
-    # key and unpack the columns instead of argsort-and-gather.
-    d_key = np.sort((d_head * n + d_ch) * n + d_v)
+    # Packed single-key sorts, as in the 2.5-hop kernel — both guarded
+    # against int64 overflow past the packing limits (lexsort fallback).
+    d_head, d_ch, d_v = sort_triples(n, d_head, d_ch, d_v)
     i_head, i_ch, i_v, i_w = sort_quads(n, i_head, i_ch, i_v, i_w)
     return CoverageArrays(
         csr=csr,
         policy=CoveragePolicy.THREE_HOP,
         heads=heads,
-        d_head=d_key // (n * n),
-        d_ch=(d_key // n) % n,
-        d_v=d_key % n,
+        d_head=d_head,
+        d_ch=d_ch,
+        d_v=d_v,
         i_head=i_head,
         i_ch=i_ch,
         i_v=i_v,

@@ -35,6 +35,7 @@ from repro.graph.csr import (
     grouped_cartesian,
     searchsorted_membership,
     sort_quads,
+    sort_triples,
 )
 from repro.types import CoveragePolicy, NodeId
 
@@ -159,13 +160,13 @@ def two_five_hop_arrays(csr: CSRGraph, head_row: np.ndarray) -> CoverageArrays:
     grp, a, b = grp[keep], a[keep], b[keep]
     d_head = head_nbrs[k_start[grp] + a]
     d_ch = head_nbrs[k_start[grp] + b]
-    # Sort the packed triple key now and unpack the columns — one np.sort
-    # replaces an argsort plus three gathers ((head, ch, v) packs into one
-    # int64: n^3 stays well under 2**63 for any network this library can
-    # hold in memory).  The unique (head, ch) pairs for the C3 removal
-    # rule fall out of the same sorted array by boundary detection.
-    d_key = np.sort((d_head * n + d_ch) * n + grp)
-    d_pair = d_key // n
+    # Sort by (head, ch, v) — a packed single-key sort up to the int64
+    # packing limit, an order-identical lexsort beyond (see
+    # :func:`repro.graph.csr.sort_triples`).  The unique (head, ch) pairs
+    # for the C3 removal rule fall out of the sorted pair keys by boundary
+    # detection (pair keys never overflow: rows are int32).
+    d_head, d_ch, d_v = sort_triples(n, d_head, d_ch, grp)
+    d_pair = d_head * n + d_ch
     if d_pair.shape[0]:
         first = np.empty(d_pair.shape[0], dtype=bool)
         first[0] = True
@@ -209,9 +210,9 @@ def two_five_hop_arrays(csr: CSRGraph, head_row: np.ndarray) -> CoverageArrays:
         csr=csr,
         policy=CoveragePolicy.TWO_FIVE_HOP,
         heads=np.flatnonzero(is_head),
-        d_head=d_key // (n * n),
-        d_ch=d_pair % n,
-        d_v=d_key % n,
+        d_head=d_head,
+        d_ch=d_ch,
+        d_v=d_v,
         i_head=i_head,
         i_ch=i_ch,
         i_v=i_v,

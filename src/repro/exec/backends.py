@@ -82,6 +82,22 @@ class TrialJob:
             self._resolved = resolve_cached(self.spec)  # type: ignore[arg-type]
         return self._resolved(index, generator)
 
+    def batch_fn(self) -> Optional[Callable]:
+        """The resolved trial's whole-wave entry point, if it declares one.
+
+        A spec-resolved trial may carry a ``run_batch`` attribute taking
+        ``[(index, generator), ...]`` and returning the metrics in item
+        order — the seam the array broadcast kernels use to evaluate a
+        whole wave per invocation.  The contract is bit-exactness: batch
+        results must equal per-item :meth:`call` results.  Legacy closures
+        (``fn``) never batch.
+        """
+        if self.spec is None:
+            return None
+        if self._resolved is None:
+            self._resolved = resolve_cached(self.spec)
+        return getattr(self._resolved, "run_batch", None)
+
 
 class ExecutionBackend(ABC):
     """The pluggable execution strategy behind ``paired_trials``."""
@@ -119,6 +135,12 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def run_wave(self, job, start_index, seeds):
+        batch = job.batch_fn()
+        if batch is not None:
+            return list(batch([
+                (start_index + k, np.random.default_rng(seq))
+                for k, seq in enumerate(seeds)
+            ]))
         return [
             job.call(start_index + k, np.random.default_rng(seq))
             for k, seq in enumerate(seeds)
@@ -158,6 +180,11 @@ def _run_spec_chunk(spec: TrialSpec,
                     ) -> List[Mapping[str, float]]:
     """Worker entry point: resolve ``spec`` (memoized) and run its items."""
     fn = resolve_cached(spec)
+    batch = getattr(fn, "run_batch", None)
+    if batch is not None:
+        return list(batch([
+            (index, np.random.default_rng(seq)) for index, seq in items
+        ]))
     return [fn(index, np.random.default_rng(seq)) for index, seq in items]
 
 
@@ -172,7 +199,9 @@ class ThreadBackend(_PooledBackend):
 
     Kept for trial functions that release the GIL; for the pure-Python
     pipeline prefer :class:`ProcessBackend`.  Accepts both closures and
-    specs (nothing crosses a process boundary).
+    specs (nothing crosses a process boundary).  Batch-capable trials run
+    per item here — interleaving items across threads is the point, and
+    bit-exactness makes the two routes indistinguishable.
     """
 
     name = "thread"

@@ -86,11 +86,14 @@ class ScenarioKey:
 class Scenario:
     """One cached sample: the network plus memoized derived structures."""
 
-    __slots__ = ("network", "_clustering")
+    __slots__ = ("network", "_clustering", "_kernel_assets")
 
     def __init__(self, network: Network) -> None:
         self.network = network
         self._clustering: Optional[ClusterStructure] = None
+        # Lazily populated by repro.broadcast.kernels.scenario_assets —
+        # typed as object to keep this module free of broadcast imports.
+        self._kernel_assets: Optional[object] = None
 
     @property
     def clustering(self) -> ClusterStructure:

@@ -426,9 +426,31 @@ def grouped_cartesian(
     return group, local // b_rep, local % b_rep
 
 
+def _pack_limit(columns: int) -> int:
+    """Largest ``n`` whose ``columns``-digit base-``n`` key fits an int64.
+
+    Derived exactly (integer arithmetic, no float rounding): the packed key
+    of ``columns`` values in ``[0, n)`` is at most ``n**columns - 1``, which
+    must not exceed ``2**63 - 1``.
+    """
+    limit = int((2**63 - 1) ** (1.0 / columns))
+    while (limit + 1) ** columns <= 2**63 - 1:
+        limit += 1
+    while limit**columns > 2**63 - 1:
+        limit -= 1
+    return limit
+
+
 #: Largest node count whose (head, ch, v, w) witness quads still pack into
-#: one int64 key (``n**4 < 2**63``).
-_PACK4_MAX = 55_000
+#: one int64 key (``n**4 <= 2**63``); 55108.
+_PACK4_MAX = _pack_limit(4)
+
+#: Largest node count for three-column packed keys (``n**3 <= 2**63``);
+#: 2097151.  Beyond this, even the partially packed ``(a*n + b)*n + c``
+#: keys silently wrap int64 and corrupt sort order, so every user must
+#: fall back to an explicit lexsort.  Two-column ``a*n + b`` keys never
+#: overflow: CSR rows are int32, so ``n**2 < 2**62``.
+_PACK3_MAX = _pack_limit(3)
 
 
 def sort_quads(
@@ -442,16 +464,42 @@ def sort_quads(
 
     Up to :data:`_PACK4_MAX` nodes all four columns pack into a single
     int64, so one :func:`np.sort` plus integer unpacking replaces a
-    two-pass lexsort and four gathers; beyond that the lexsort fallback
-    produces the identical order.
+    two-pass lexsort and four gathers.  Up to :data:`_PACK3_MAX` a
+    three-column key still packs and a two-pass lexsort finishes the job;
+    beyond that only pairs pack safely.  All tiers produce the identical
+    order.
     """
     if n <= _PACK4_MAX:
         key = np.sort(((head * n + ch) * n + v) * n + w)
         rest = key // n
         rest2 = rest // n
         return rest2 // n, rest2 % n, rest % n, key % n
-    order = np.lexsort((w, (head * n + ch) * n + v))
+    if n <= _PACK3_MAX:
+        order = np.lexsort((w, (head * n + ch) * n + v))
+    else:
+        order = np.lexsort((w, v, head * n + ch))
     return head[order], ch[order], v[order], w[order]
+
+
+def sort_triples(
+    n: int,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row triples sorted by ``(a, b, c)``.
+
+    The coverage kernels' direct-witness sort: up to :data:`_PACK3_MAX`
+    nodes the three columns pack into one int64 (one :func:`np.sort` plus
+    unpacking); beyond that a lexsort over the always-safe pair key
+    produces the identical order instead of silently overflowing.
+    """
+    if n <= _PACK3_MAX:
+        key = np.sort((a * n + b) * n + c)
+        ab = key // n
+        return ab // n, ab % n, key % n
+    order = np.lexsort((c, a * n + b))
+    return a[order], b[order], c[order]
 
 
 def searchsorted_membership(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:

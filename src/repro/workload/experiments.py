@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.backbone.mo_cds import build_mo_cds
 from repro.backbone.static_backbone import build_static_backbone
+from repro.broadcast import kernels
 from repro.broadcast.flooding import blind_flooding
 from repro.broadcast.sd_cds import broadcast_sd
 from repro.broadcast.si_cds import broadcast_si
@@ -61,6 +62,12 @@ SampleMetricsFn = Callable[
 #: Registry of figure metric functions, addressable by name so a
 #: :class:`TrialSpec` can reference them across process boundaries.
 _METRICS: Dict[str, SampleMetricsFn] = {}
+
+#: Batched counterparts: ``name -> fn(scenarios, sources) -> [metrics...]``.
+#: A batched implementation MUST return exactly what the per-trial metric
+#: function returns for each (scenario, source) — the figure estimates are
+#: exact integer counts, so "equal" means bit-identical.
+_BATCH_METRICS: Dict[str, Callable] = {}
 
 
 def _register_metrics(name: str, fn: SampleMetricsFn) -> SampleMetricsFn:
@@ -100,6 +107,28 @@ def make_figure_trial(
         net = scenario.network
         source = int(gen.choice(net.graph.nodes()))
         return metrics_fn(net, scenario.clustering, source)
+
+    batch_fn = _BATCH_METRICS.get(metrics)
+    if batch_fn is not None and n >= kernels.KERNEL_CUTOVER:
+        # Above the cutover the whole wave runs through the array kernels
+        # (one stacked broadcast per algorithm instead of one event loop
+        # per trial).  Per-item source draws consume each trial's stream
+        # exactly as the scalar path does, and the kernels are bit-exact,
+        # so which route ran is unobservable in the results.
+        def run_batch(items):
+            scenarios = [
+                connected_scenario(
+                    n, degree, area=area, root=scenario_root, index=index
+                )
+                for index, _ in items
+            ]
+            sources = [
+                int(gen.choice(scenario.network.graph.nodes()))
+                for (_, gen), scenario in zip(items, scenarios)
+            ]
+            return batch_fn(scenarios, sources)
+
+        trial.run_batch = run_batch
 
     return trial
 
@@ -302,3 +331,135 @@ def run_flooding_comparison(
         env, "Ablation (d={d:g}): flooding vs backbones", "flooding", 900,
         backend=backend, parallel=parallel, journal=journal,
     )
+
+# ---------------------------------------------------------------------------
+# Batched figure metrics (array kernels)
+# ---------------------------------------------------------------------------
+#
+# Above ``kernels.KERNEL_CUTOVER`` nodes, :func:`make_figure_trial` exposes a
+# ``run_batch`` seam (see repro.exec.backends.TrialJob.batch_fn): the wave's
+# scenarios stack into one block-diagonal CSR and each figure algorithm runs
+# as a single stacked broadcast.  The figure metrics are exact integer counts
+# and the kernels are bit-equivalent to the reference implementations, so
+# estimates are identical either way — pinned by tests/test_broadcast_kernels.
+
+
+def _stack_for(assets, sources):
+    stack = kernels.stack_trials(
+        [a.csr for a in assets], [a.head_row for a in assets]
+    )
+    src_rows = np.asarray(
+        [
+            a.source_row(source) + stack.offsets[b]
+            for b, (a, source) in enumerate(zip(assets, sources))
+        ],
+        dtype=np.int64,
+    )
+    return stack, src_rows
+
+
+def _stacked_si_counts(stack, src_rows, assets, rows_of) -> np.ndarray:
+    mask = kernels.stack_mask(stack, [rows_of(a) for a in assets])
+    _, forwarded = kernels.si_rows(stack.csr, mask, src_rows)
+    return stack.per_trial_counts(forwarded)
+
+
+def _stacked_sd_counts(stack, src_rows, assets, policy) -> np.ndarray:
+    cov = kernels.stack_coverage(stack, [a.coverage(policy) for a in assets])
+    run = kernels.sd_rows(
+        stack.csr, stack.head_row, cov, src_rows,
+        pruning=PruningLevel.FULL, collect=False,
+    )
+    return stack.per_trial_counts(run.forwarded)
+
+
+def _as_rows(values: Mapping[str, np.ndarray], count: int):
+    return [
+        {label: float(series[b]) for label, series in values.items()}
+        for b in range(count)
+    ]
+
+
+def _fig6_batch(scenarios, sources):
+    del sources  # the CDSs are source-independent
+    out = []
+    for scenario in scenarios:
+        assets = kernels.scenario_assets(scenario)
+        out.append({
+            STATIC_25: float(
+                assets.static_rows(CoveragePolicy.TWO_FIVE_HOP).shape[0]
+            ),
+            STATIC_3: float(
+                assets.static_rows(CoveragePolicy.THREE_HOP).shape[0]
+            ),
+            MO_CDS: float(assets.mo_rows().shape[0]),
+        })
+    return out
+
+
+_BATCH_METRICS["fig6"] = _fig6_batch
+
+
+def _fig7_batch(scenarios, sources):
+    assets = [kernels.scenario_assets(s) for s in scenarios]
+    stack, src_rows = _stack_for(assets, sources)
+    values = {
+        DYNAMIC_25: _stacked_sd_counts(
+            stack, src_rows, assets, CoveragePolicy.TWO_FIVE_HOP
+        ),
+        DYNAMIC_3: _stacked_sd_counts(
+            stack, src_rows, assets, CoveragePolicy.THREE_HOP
+        ),
+        MO_CDS: _stacked_si_counts(
+            stack, src_rows, assets, lambda a: a.mo_rows()
+        ),
+    }
+    return _as_rows(values, len(scenarios))
+
+
+_BATCH_METRICS["fig7"] = _fig7_batch
+
+
+def _fig8_batch(scenarios, sources):
+    assets = [kernels.scenario_assets(s) for s in scenarios]
+    stack, src_rows = _stack_for(assets, sources)
+    values = {
+        STATIC_25: _stacked_si_counts(
+            stack, src_rows, assets,
+            lambda a: a.static_rows(CoveragePolicy.TWO_FIVE_HOP),
+        ),
+        STATIC_3: _stacked_si_counts(
+            stack, src_rows, assets,
+            lambda a: a.static_rows(CoveragePolicy.THREE_HOP),
+        ),
+        DYNAMIC_25: _stacked_sd_counts(
+            stack, src_rows, assets, CoveragePolicy.TWO_FIVE_HOP
+        ),
+        DYNAMIC_3: _stacked_sd_counts(
+            stack, src_rows, assets, CoveragePolicy.THREE_HOP
+        ),
+    }
+    return _as_rows(values, len(scenarios))
+
+
+_BATCH_METRICS["fig8"] = _fig8_batch
+
+
+def _flooding_batch(scenarios, sources):
+    assets = [kernels.scenario_assets(s) for s in scenarios]
+    stack, src_rows = _stack_for(assets, sources)
+    _, flooded = kernels.flooding_rows(stack.csr, src_rows)
+    values = {
+        FLOODING: stack.per_trial_counts(flooded),
+        STATIC_25: _stacked_si_counts(
+            stack, src_rows, assets,
+            lambda a: a.static_rows(CoveragePolicy.TWO_FIVE_HOP),
+        ),
+        DYNAMIC_25: _stacked_sd_counts(
+            stack, src_rows, assets, CoveragePolicy.TWO_FIVE_HOP
+        ),
+    }
+    return _as_rows(values, len(scenarios))
+
+
+_BATCH_METRICS["flooding"] = _flooding_batch

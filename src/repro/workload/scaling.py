@@ -12,9 +12,9 @@ This study measures, for fixed average degree and growing n:
 
 The pipeline runs **array-native**: positions go straight into a
 :class:`~repro.graph.csr.CSRGraph` and every stage (clustering, coverage,
-gateway selection) is a CSR kernel.  Per-head objects are only
-materialised when the broadcast measurement asks for them, so the timed
-stages reflect the kernels themselves.  Stage timings are also streamed
+gateway selection, broadcast delivery) is a CSR kernel — no per-node
+Python objects anywhere, which is what makes the million-node broadcast
+point feasible.  Stage timings are also streamed
 through the optional ``on_stage`` callback as they complete — an
 interrupted large-``n`` run still reports every finished stage.
 """
@@ -25,11 +25,12 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
+import numpy as np
+
 from repro import perf
 from repro.backbone.gateway_selection import select_gateways_batch
-from repro.broadcast.sd_cds import broadcast_sd
+from repro.broadcast.kernels import sd_rows
 from repro.cluster.lowest_id import lowest_id_rows
-from repro.cluster.state import ClusterStructure
 from repro.coverage.two_five_hop import two_five_hop_arrays
 from repro.exec.scenarios import scenario_positions
 from repro.geometry.area import Area
@@ -57,6 +58,8 @@ class ScalingPoint:
         backbone_fraction: ``|CDS| / component_n``.
         dynamic_fraction: Dynamic forward nodes over ``component_n``
             (``0.0`` when the study ran with ``with_broadcast=False``).
+        broadcast_seconds: SD broadcast-delivery time over the component
+            (``0.0`` when the study ran with ``with_broadcast=False``).
     """
 
     n: int
@@ -67,6 +70,7 @@ class ScalingPoint:
     backbone_seconds: float
     backbone_fraction: float
     dynamic_fraction: float
+    broadcast_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -94,12 +98,12 @@ def run_scaling_study(
         rng: Seed or generator.
         on_stage: Called as ``on_stage(n, stage, seconds)`` the moment each
             timed stage finishes — construction, clustering, coverage,
-            selection — so partial results of an interrupted run are not
-            lost.
+            selection, broadcast — so partial results of an interrupted
+            run are not lost.
         with_broadcast: Also run the dynamic source-dependent broadcast
-            (requires materialising per-head objects, which is Python-level
-            work outside the timed kernel stages).  Disable for pure
-            kernel-throughput measurements at very large ``n``.
+            through the SD delivery kernel (array-native end to end, so
+            it holds up at n=1M).  Disable to time only the construction
+            pipeline.
 
     Returns:
         One :class:`ScalingPoint` per size.
@@ -152,20 +156,20 @@ def run_scaling_study(
         backbone_size = int(selection.backbone_rows().shape[0])
 
         dynamic_fraction = 0.0
+        broadcast_seconds = 0.0
         if with_broadcast:
-            # Materialise the object layer from the already-computed CSR
-            # results (no kernel re-runs) for the broadcast measurement.
-            ids = component.ids
-            structure = ClusterStructure(
-                graph=component.to_graph(),
-                head_of=dict(zip(ids.tolist(), ids[head_row].tolist())),
-            )
-            structure.__dict__["csr"] = component
-            structure.__dict__["head_row"] = head_row
-            coverage_sets = coverage.materialise_all()
-            source = int(ids[0])  # lowest id in the component
-            dyn = broadcast_sd(structure, source, coverage_sets=coverage_sets)
-            dynamic_fraction = dyn.result.num_forward_nodes / component_n
+            # Broadcast delivery stays array-native too: the SD kernel
+            # consumes the CSR, head rows and coverage tables directly —
+            # no per-node object layer is ever materialised, which is
+            # what lets this stage run at n=1M.  Source is row 0, the
+            # lowest id in the component.
+            t0 = time.perf_counter()
+            run = sd_rows(component, head_row, coverage,
+                          np.zeros(1, dtype=np.int64), collect=False)
+            broadcast_seconds = time.perf_counter() - t0
+            if on_stage is not None:
+                on_stage(n, "broadcast", broadcast_seconds)
+            dynamic_fraction = int(run.forwarded.sum()) / component_n
 
         points.append(
             ScalingPoint(
@@ -177,6 +181,7 @@ def run_scaling_study(
                 backbone_seconds=backbone_seconds,
                 backbone_fraction=backbone_size / component_n,
                 dynamic_fraction=dynamic_fraction,
+                broadcast_seconds=broadcast_seconds,
             )
         )
     return points

@@ -11,6 +11,11 @@ experiment *removes* that assumption.  On a
 destroy each other) with a small random relay back-off, blind flooding's
 relay avalanche collides massively in dense networks while the backbones'
 thin forward sets mostly get through — the paper's motivation, measured.
+
+This experiment stays on the event engine at every network size: the
+vectorised delivery kernels (:mod:`repro.broadcast.kernels`) model the
+figure benches' perfect-MAC assumption, and collision/contention dynamics
+are exactly the part of the physical layer they do not reproduce.
 """
 
 from __future__ import annotations

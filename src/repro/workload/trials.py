@@ -16,6 +16,14 @@ work.  Batch sizes are adaptive: the next submission wave is projected from
 the current relative half-width instead of a fixed block, so convergence is
 not overshot by up to a full batch.
 
+Trials built from a :class:`~repro.exec.spec.TrialSpec` may additionally
+expose a ``run_batch`` attribute on the resolved trial function — the seam
+the array broadcast kernels (:mod:`repro.broadcast.kernels`) use to
+evaluate a whole submission wave in one vectorised invocation instead of
+one trial at a time.  The contract is bit-exactness: ``run_batch`` must
+return exactly what per-trial calls would, so the stopping rule, journal
+replay and backend equivalence guarantees above all carry over unchanged.
+
 Folded outcomes can additionally be written through a crash-safe
 :class:`~repro.exec.journal.PointJournal` (``journal=``): an interrupted
 run replays the journaled prefix and resumes bit-identically, and the

@@ -11,12 +11,16 @@ from repro.graph.adjacency import Graph
 from repro.graph.build import unit_disk_graph
 from repro.graph.connectivity import connected_components
 from repro.graph.csr import (
+    _PACK3_MAX,
+    _PACK4_MAX,
     CSRGraph,
     csr_from_positions,
     grouped_cartesian,
     row_reduce_max,
     row_reduce_min,
     searchsorted_membership,
+    sort_quads,
+    sort_triples,
 )
 
 
@@ -160,3 +164,64 @@ class TestSegmentPrimitives:
         ]
         assert searchsorted_membership(np.empty(0), needles).tolist() == [
             False] * 4
+
+
+class TestPackedKeySorts:
+    """The packed-int64 fast paths must refuse to overflow, not corrupt."""
+
+    def test_pack_limits_are_exact(self):
+        # The limits are the largest n whose key range fits an int64 —
+        # one more node and the top key wraps.
+        assert _PACK4_MAX**4 <= 2**63 - 1 < (_PACK4_MAX + 1) ** 4
+        assert _PACK3_MAX**3 <= 2**63 - 1 < (_PACK3_MAX + 1) ** 3
+
+    @staticmethod
+    def _random_columns(rng, n, size, columns):
+        return [
+            rng.integers(
+                0, [7, n - 3, n - 1][min(k, 2)], size=size, dtype=np.int64
+            )
+            for k in range(columns)
+        ]
+
+    @pytest.mark.parametrize("n", [
+        10, _PACK4_MAX, _PACK4_MAX + 1, _PACK3_MAX, _PACK3_MAX + 1,
+        2**31 - 1,
+    ])
+    def test_sort_quads_identical_across_tiers(self, n):
+        rng = np.random.default_rng(n % 2**32)
+        head, ch, v, w = self._random_columns(rng, n, 400, 4)
+        got = sort_quads(n, head, ch, v, w)
+        order = np.lexsort((w, v, ch, head))
+        want = (head[order], ch[order], v[order], w[order])
+        for g, e in zip(got, want):
+            assert np.array_equal(g, e)
+
+    @pytest.mark.parametrize("n", [
+        10, _PACK3_MAX, _PACK3_MAX + 1, 2**31 - 1,
+    ])
+    def test_sort_triples_identical_across_tiers(self, n):
+        rng = np.random.default_rng(n % 2**32)
+        a, b, c = self._random_columns(rng, n, 400, 3)
+        got = sort_triples(n, a, b, c)
+        order = np.lexsort((c, b, a))
+        want = (a[order], b[order], c[order])
+        for g, e in zip(got, want):
+            assert np.array_equal(g, e)
+
+    def test_overflow_tier_boundary_would_wrap(self):
+        # Sanity: past the limit the packed key really does wrap — the
+        # guard is load-bearing.  (_PACK3_MAX + 1 == 2**21 is the one
+        # conservative case: its top key is exactly 2**63 - 1.)
+        n = _PACK3_MAX + 2
+        cols = np.array([n - 1], dtype=np.int64)
+        with np.errstate(over="ignore"):
+            top = (cols * n + cols) * n + cols
+        assert top[0] < 0  # wrapped negative under int64
+
+    def test_empty_input(self):
+        e = np.empty(0, dtype=np.int64)
+        for arr in sort_quads(2**31 - 1, e, e, e, e):
+            assert arr.shape == (0,)
+        for arr in sort_triples(2**31 - 1, e, e, e):
+            assert arr.shape == (0,)

@@ -77,4 +77,21 @@ class TestStageStreaming:
             ns=(80,), average_degree=8.0, rng=5, with_broadcast=False,
         )
         assert points[0].dynamic_fraction == 0.0
+        assert points[0].broadcast_seconds == 0.0
         assert points[0].backbone_fraction > 0.0
+
+    def test_broadcast_stage_streams_when_enabled(self):
+        events = []
+        points = run_scaling_study(
+            ns=(80,), average_degree=8.0, rng=5,
+            on_stage=lambda n, stage, s: events.append(stage),
+        )
+        assert events == ["construction", "clustering", "coverage",
+                          "selection", "broadcast"]
+        assert points[0].broadcast_seconds > 0.0
+        # Broadcast is measured separately; total_seconds stays the
+        # construction pipeline.
+        assert points[0].total_seconds == pytest.approx(
+            points[0].build_seconds + points[0].cluster_seconds
+            + points[0].coverage_seconds + points[0].backbone_seconds
+        )
