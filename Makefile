@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper bench-topology bench-faults bench-channel bench-broadcast bench-parallel chaos figures examples lint clean
+.PHONY: install test bench bench-paper bench-topology bench-faults bench-channel bench-broadcast bench-mobility bench-parallel chaos figures examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -30,6 +30,9 @@ bench-channel:
 
 bench-broadcast:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_broadcast_kernels.py --gate
+
+bench-mobility:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_mobility_kernels.py --gate
 
 bench-parallel:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_trials_parallel.py

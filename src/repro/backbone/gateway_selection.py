@@ -31,7 +31,7 @@ from repro.coverage.arrays import CoverageArrays
 from repro.coverage.entries import CoverageSet
 from repro.errors import BackboneError
 from repro.geometry.grid import grouped_ranges
-from repro.graph.csr import searchsorted_membership
+from repro.graph.csr import searchsorted_membership, sorted_unique
 from repro.types import NodeId
 
 
@@ -225,6 +225,23 @@ def _sorted_unique_inverse(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     return keys[first], np.cumsum(first) - 1
 
 
+def _unique_inverse(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``np.unique(keys, return_inverse=True)`` via a stable argsort.
+
+    Radix-sorts the integer keys instead of taking numpy's hash-table
+    path, whose fixed overhead dominates on per-tick masked selections.
+    """
+    if keys.shape[0] == 0:
+        return keys, np.empty(0, dtype=np.int64)
+    order = np.argsort(keys, kind="stable")
+    sk = keys[order]
+    first = np.ones(sk.shape[0], dtype=bool)
+    first[1:] = sk[1:] != sk[:-1]
+    inverse = np.empty(sk.shape[0], dtype=np.int64)
+    inverse[order] = np.cumsum(first) - 1
+    return sk[first], inverse
+
+
 def _select_from_tables(
     ids: np.ndarray,
     n: int,
@@ -249,7 +266,7 @@ def _select_from_tables(
     # witness tables are sorted by (head, ch, ...), so the (head, ch) keys
     # are non-decreasing and uniques reduce to boundary detection.
     t2_keys, d_t2 = _sorted_unique_inverse(d_head * n + d_ch)
-    c_keys, d_c = np.unique(d_head * n + d_v, return_inverse=True)
+    c_keys, d_c = _unique_inverse(d_head * n + d_v)
     cand_head = c_keys // n
     cand_v = c_keys % n
     t3_keys, i_t3 = _sorted_unique_inverse(i_head * n + i_ch)
@@ -285,8 +302,11 @@ def _select_from_tables(
     cw_parts: List[np.ndarray] = []
 
     if n_cand:
-        # Candidate slots are grouped by head (keys sort by head first).
-        seg_starts = np.unique(cand_head, return_index=True)[1]
+        # Candidate slots are grouped by head (keys sort by head first),
+        # so segment starts are just the boundaries of the sorted column.
+        seg_first = np.ones(n_cand, dtype=bool)
+        seg_first[1:] = cand_head[1:] != cand_head[:-1]
+        seg_starts = np.flatnonzero(seg_first)
         slots = np.arange(n_cand, dtype=np.int64)
         seg_counts = np.diff(np.append(seg_starts, n_cand))
         while True:
@@ -329,45 +349,53 @@ def _select_from_tables(
         )
 
     # Phase 2: leftover 3-hop targets, ascending (head, ch) — mirrors the
-    # sorted() walk of the set-based code head by head.
+    # sorted() walk of the set-based code head by head.  The sequential
+    # dependency (the gateway set grows after each pick) is *within* a
+    # head only, so round ``k`` handles every head's ``k``-th leftover at
+    # once: a segmented min over keys packed as ``miss*n² + v*n + w``
+    # reproduces the lexicographic order ``((v∉s)+(w∉s), v, w)`` exactly.
     leftover = np.flatnonzero(rem3)
     if leftover.size:
         i_hc = i_head * n + i_ch
         starts = np.searchsorted(i_hc, t3_keys[leftover])
         ends = np.searchsorted(i_hc, t3_keys[leftover] + 1)
-        # Already-selected gateways per head with leftovers.
-        need = set((t3_keys[leftover] // n).tolist())
-        gwset: Dict[int, Set[int]] = {h: set() for h in need}
-        for hs, vs, ws in zip(ch_parts, cv_parts, cw_parts):
-            for h, v, w in zip(hs.tolist(), vs.tolist(), ws.tolist()):
-                s = gwset.get(h)
-                if s is not None:
-                    s.add(v)
-                    if w >= 0:
-                        s.add(w)
-        p_head: List[int] = []
-        p_ch: List[int] = []
-        p_v: List[int] = []
-        p_w: List[int] = []
-        for idx, t in enumerate(leftover.tolist()):
-            h = int(t3_keys[t] // n)
-            s = gwset[h]
-            vs = i_v[starts[idx] : ends[idx]].tolist()
-            ws = i_w[starts[idx] : ends[idx]].tolist()
-            v, w = min(
-                zip(vs, ws),
-                key=lambda p: ((p[0] not in s) + (p[1] not in s), p[0], p[1]),
+        lo_head = t3_keys[leftover] // n
+        # Already-selected gateway keys (head*n + member), sorted.
+        sh = np.concatenate(ch_parts) if ch_parts else np.empty(0, np.int64)
+        sv = np.concatenate(cv_parts) if cv_parts else np.empty(0, np.int64)
+        sw = np.concatenate(cw_parts) if cw_parts else np.empty(0, np.int64)
+        skeys = sorted_unique(np.concatenate(
+            [sh * n + sv, sh[sw >= 0] * n + sw[sw >= 0]]
+        ))
+        m = leftover.shape[0]
+        new_seg = np.ones(m, dtype=bool)
+        new_seg[1:] = lo_head[1:] != lo_head[:-1]
+        seg_first = np.flatnonzero(new_seg)
+        rank = np.arange(m) - seg_first[np.cumsum(new_seg) - 1]
+        nsq = n * n
+        for k in range(int(rank.max()) + 1):
+            cur = np.flatnonzero(rank == k)
+            counts = ends[cur] - starts[cur]
+            off = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
             )
-            s.add(v)
-            s.add(w)
-            p_head.append(h)
-            p_ch.append(int(t3_keys[t] % n))
-            p_v.append(v)
-            p_w.append(w)
-        ch_parts.append(np.asarray(p_head, dtype=np.int64))
-        cc_parts.append(np.asarray(p_ch, dtype=np.int64))
-        cv_parts.append(np.asarray(p_v, dtype=np.int64))
-        cw_parts.append(np.asarray(p_w, dtype=np.int64))
+            rows = (np.arange(off[-1]) - np.repeat(off[:-1], counts)
+                    + np.repeat(starts[cur], counts))
+            v, w = i_v[rows], i_w[rows]
+            hh = np.repeat(lo_head[cur], counts)
+            miss = (
+                (~searchsorted_membership(skeys, hh * n + v)).astype(np.int64)
+                + ~searchsorted_membership(skeys, hh * n + w)
+            )
+            best = np.minimum.reduceat(miss * nsq + v * n + w, off[:-1])
+            bv, bw = (best % nsq) // n, best % n
+            ch_parts.append(lo_head[cur])
+            cc_parts.append(t3_keys[leftover[cur]] % n)
+            cv_parts.append(bv)
+            cw_parts.append(bw)
+            skeys = sorted_unique(np.concatenate(
+                [skeys, lo_head[cur] * n + bv, lo_head[cur] * n + bw]
+            ))
 
     empty = np.empty(0, dtype=np.int64)
     return (
@@ -388,8 +416,10 @@ def select_gateways_batch(cov: CoverageArrays) -> BatchGatewaySelection:
     ``reduceat`` passes over the candidate table, and covers/absorbs the
     corresponding targets in bulk.  Heads are independent, so running
     their iterations in lock-step changes nothing.  Phase 2 (leftover
-    3-hop targets) is a short Python loop over the few remaining targets,
-    identical to the set-based code.
+    3-hop targets) runs round-by-round — round ``k`` picks every head's
+    ``k``-th leftover with a segmented min — which is exactly the
+    set-based code's per-head sequential walk, since heads never share
+    gateway sets.
 
     Args:
         cov: Batched coverage sets from the CSR coverage kernels.

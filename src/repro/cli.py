@@ -256,6 +256,71 @@ def _perf_broadcast_breakdown(counters) -> dict:
     return breakdown
 
 
+def _perf_maintenance_breakdown(counters) -> dict:
+    """Per-kernel-stage maintenance seconds out of the stage counters.
+
+    The kernel session times itself under ``maintenance.step`` /
+    ``maintenance.delta`` / ``maintenance.repair`` (with gateway
+    ``selection`` nested exclusively inside repair); the bare
+    ``maintenance`` stage holds the residual glue between them.
+    """
+    labels = {"maintenance.step": "step", "maintenance.delta": "delta",
+              "maintenance.repair": "repair", "selection": "selection",
+              "maintenance": "residual"}
+    breakdown = {
+        label: counters[stage]["seconds"]
+        for stage, label in labels.items() if stage in counters
+    }
+    breakdown["total"] = sum(breakdown.values())
+    return breakdown
+
+
+def _cmd_perf_mobility(args: argparse.Namespace) -> int:
+    """The ``perf --figure mobility`` runner: kernel maintenance ticks."""
+    import json as _json
+
+    from repro import perf
+    from repro.workload.mobility_scaling import run_mobility_scaling
+
+    n, ticks = (10_000, 10) if args.paper else (2_000, 5)
+    was_enabled = perf.enabled()
+    was_mem = perf.memory_enabled()
+    perf.enable()
+    if args.mem:
+        perf.enable_memory()
+    perf.reset()
+    try:
+        (point,) = run_mobility_scaling(ns=(n,), ticks=ticks, rng=args.seed)
+    finally:
+        counters = perf.snapshot()
+        perf.enable(was_enabled)
+        perf.enable_memory(was_mem)
+    breakdown = _perf_maintenance_breakdown(counters)
+    if args.json:
+        payload = {"figure": "mobility", "n": n, "ticks": ticks,
+                   "stages": counters,
+                   "steps_per_sec": round(point.steps_per_second, 2),
+                   "link_changes_per_tick": point.link_changes_per_tick,
+                   "maintenance_breakdown": breakdown}
+        if args.mem:
+            payload["peak_rss_bytes"] = perf.peak_rss_bytes()
+        print(_json.dumps(payload, indent=2))
+    else:
+        print(f"mobility maintenance at n={n}, {ticks} ticks "
+              f"(seed {args.seed})")
+        print(perf.render_report(counters))
+        if breakdown["total"] > 0.0:
+            print("maintenance breakdown:")
+            for label, seconds in breakdown.items():
+                if label == "total":
+                    continue
+                share = seconds / breakdown["total"]
+                print(f"  {label:<9} {seconds:>8.3f}s {share:>5.0%}")
+        print(f"throughput: {point.steps_per_second:.1f} ticks/s "
+              f"({point.link_changes_per_tick:.0f} link changes/tick)")
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     import json as _json
     import time as _time
@@ -266,6 +331,9 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.workload.experiments import (
         run_fig6, run_fig7, run_fig8, run_flooding_comparison,
     )
+
+    if args.figure == "mobility":
+        return _cmd_perf_mobility(args)
 
     runners = {
         "fig6": run_fig6,
@@ -649,10 +717,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "perf", help="per-stage wall-clock attribution for a figure sweep"
     )
-    p.add_argument("--figure", choices=["fig6", "fig7", "fig8", "flooding"],
-                   default="fig6")
+    p.add_argument("--figure",
+                   choices=["fig6", "fig7", "fig8", "flooding", "mobility"],
+                   default="fig6",
+                   help="'mobility' times the kernel maintenance session "
+                        "(step/delta/repair breakdown) instead of a "
+                        "figure sweep")
     p.add_argument("--paper", action="store_true",
-                   help="full paper environment (default: quick)")
+                   help="full paper environment (default: quick); for "
+                        "mobility, n=10000 x 10 ticks instead of "
+                        "n=2000 x 5")
     p.add_argument("--backend", choices=["serial", "thread"],
                    default="serial",
                    help="stage counters are process-local, so attribution "

@@ -19,14 +19,14 @@ property-tested to agree with this function on random graphs.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
 
 from repro import perf
 from repro.cluster.state import ClusterStructure
 from repro.graph.adjacency import Graph
-from repro.graph.csr import CSRGraph, row_reduce_min
+from repro.graph.csr import CSRGraph, mask_unique_rows, row_reduce_min
 from repro.types import NodeId
 
 #: Frontier-relaxation rounds before falling back to the sequential scan.
@@ -111,6 +111,107 @@ def lowest_id_rows(csr: CSRGraph) -> np.ndarray:
         np.cumsum(counts, out=offsets[1:])
         head_row[members] = row_reduce_min(vals, offsets, empty=n)
     return head_row
+
+
+def _constrained_fixpoint(
+    csr: CSRGraph, old_is_head: np.ndarray, affected: np.ndarray
+) -> np.ndarray:
+    """The lowest-ID fixpoint with every row outside ``affected`` frozen.
+
+    The restricted analogue of :func:`lowest_id_rows`: affected rows are
+    reset to undecided while the complement keeps its old head flag, so
+    the relaxation only ever gathers the affected rows' neighbourhoods.
+    A frozen *smaller* head demotes an affected neighbour up front; frozen
+    *larger* heads are irrelevant to the rule (a node only looks at
+    smaller ids), which is why the fallback scan below must test
+    ``row < v`` explicitly — unlike the unconstrained kernel, a leftover
+    here can legitimately have a larger frozen head neighbour.
+    """
+    n = csr.num_nodes
+    state = np.where(old_is_head, np.int8(1), np.int8(2))
+    state[affected] = 0
+    flat, counts = csr.gather_rows(affected)
+    src = np.repeat(affected, counts)
+    demote = (state[flat] == 1) & (flat < src)
+    state[src[demote]] = 2
+    undecided = affected[state[affected] == 0]
+    rounds = 0
+    while undecided.size and rounds < _MAX_RELAXATION_ROUNDS:
+        rounds += 1
+        flat, counts = csr.gather_rows(undecided)
+        vals = np.where(state[flat] == 0, flat, n)
+        offsets = np.zeros(undecided.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        min_undecided_nbr = row_reduce_min(vals, offsets, empty=n)
+        new_heads = undecided[undecided < min_undecided_nbr]
+        state[new_heads] = 1
+        nbrs, _ = csr.gather_rows(new_heads)
+        members = nbrs[state[nbrs] == 0]
+        state[members] = 2
+        undecided = undecided[state[undecided] == 0]
+    for v in undecided.tolist():
+        row = csr.row(v)
+        state[v] = 2 if ((state[row] == 1) & (row < v)).any() else 1
+    return state == 1
+
+
+def repair_lowest_id_rows(
+    csr: CSRGraph, old_head_row: np.ndarray, seeds: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Repair a lowest-ID clustering after a batch of edge changes.
+
+    ``seeds`` are the rows incident to changed edges in ``csr`` (the *new*
+    graph).  The kernel re-runs the fixpoint only over the affected ball:
+    starting from the seeds, it solves the constrained fixpoint with the
+    complement frozen at the old assignment, then — since a flip at ``v``
+    can only change the rule's outcome at *larger* neighbours — expands
+    the ball by every larger neighbour of a flipped row not yet inside
+    and re-solves, until no flip escapes.  The final assignment satisfies
+    the (unique) global fixpoint at every row, so it is bit-identical to
+    :func:`lowest_id_rows` from scratch; only the work is local.
+
+    Returns:
+        ``(head_row, reevaluated, flipped, reassigned)`` — the repaired
+        assignment plus the repair-locality row sets: rows whose rule was
+        re-run, rows whose head status changed, and rows (non-head before
+        and after) whose assigned head changed.
+    """
+    n = csr.num_nodes
+    rows = np.arange(n, dtype=np.int64)
+    old_is_head = old_head_row == rows
+    affected = mask_unique_rows(np.asarray(seeds, dtype=np.int64), n)
+    while True:
+        is_head = _constrained_fixpoint(csr, old_is_head, affected)
+        flipped = affected[is_head[affected] != old_is_head[affected]]
+        flat, counts = csr.gather_rows(flipped)
+        src = np.repeat(flipped, counts)
+        larger = flat[flat > src]
+        inside = np.zeros(n, dtype=bool)
+        inside[affected] = True
+        fresh = larger[~inside[larger]]
+        if fresh.size == 0:
+            break
+        affected = mask_unique_rows(np.concatenate([affected, fresh]), n)
+    # Head assignments can change only where the neighbourhood or a
+    # neighbour's head flag did: the seeds plus the flipped rows plus the
+    # flipped rows' neighbours.
+    nbrs_of_flipped, _ = csr.gather_rows(flipped)
+    dirty = mask_unique_rows(np.concatenate([
+        np.asarray(seeds, dtype=np.int64), flipped, nbrs_of_flipped
+    ]), n)
+    head_row = old_head_row.copy()
+    if dirty.size:
+        head_row[dirty[is_head[dirty]]] = dirty[is_head[dirty]]
+        members = dirty[~is_head[dirty]]
+        if members.size:
+            flat, counts = csr.gather_rows(members)
+            vals = np.where(is_head[flat], flat, n)
+            offsets = np.zeros(members.shape[0] + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            head_row[members] = row_reduce_min(vals, offsets, empty=n)
+    changed = dirty[head_row[dirty] != old_head_row[dirty]]
+    reassigned = changed[~old_is_head[changed] & ~is_head[changed]]
+    return head_row, affected, flipped, reassigned
 
 
 def lowest_id_clustering_csr(

@@ -20,6 +20,16 @@ from repro.geometry.area import Area
 from repro.rng import RngLike, ensure_rng
 
 
+def _validate_dt(dt: float) -> float:
+    """A finite, non-negative tick duration (``NaN`` compares false to
+    everything, so a plain ``dt < 0`` check would let it through and every
+    position would silently become ``NaN``)."""
+    dt = float(dt)
+    if not (np.isfinite(dt) and dt >= 0.0):
+        raise ConfigurationError(f"dt must be finite and >= 0, got {dt}")
+    return dt
+
+
 def clamp_to_area(positions: np.ndarray, area: Area) -> np.ndarray:
     """Reflect positions that left ``area`` back inside (billiard reflection).
 
@@ -62,13 +72,15 @@ class RandomWalk(MobilityModel):
     def __init__(self, speed: float = 1.0, area: Optional[Area] = None,
                  rng: RngLike = None) -> None:
         super().__init__(area, rng)
-        if speed < 0.0:
-            raise ConfigurationError(f"speed must be >= 0, got {speed}")
-        self.speed = float(speed)
+        speed = float(speed)
+        if not (np.isfinite(speed) and speed >= 0.0):
+            raise ConfigurationError(
+                f"speed must be finite and >= 0, got {speed}"
+            )
+        self.speed = speed
 
     def step(self, positions: np.ndarray, dt: float) -> np.ndarray:
-        if dt < 0.0:
-            raise ConfigurationError(f"dt must be >= 0, got {dt}")
+        dt = _validate_dt(dt)
         pts = np.asarray(positions, dtype=float)
         theta = self.rng.uniform(0.0, 2.0 * np.pi, size=pts.shape[0])
         delta = np.column_stack([np.cos(theta), np.sin(theta)]) * (self.speed * dt)
@@ -98,12 +110,17 @@ class RandomWaypoint(MobilityModel):
     ) -> None:
         super().__init__(area, rng)
         lo, hi = float(speed_range[0]), float(speed_range[1])
-        if not (0.0 < lo <= hi):
-            raise ConfigurationError(f"need 0 < min <= max speed, got {speed_range}")
-        if pause_time < 0.0:
-            raise ConfigurationError(f"pause_time must be >= 0, got {pause_time}")
+        if not (np.isfinite(lo) and np.isfinite(hi) and 0.0 < lo <= hi):
+            raise ConfigurationError(
+                f"need finite 0 < min <= max speed, got {speed_range}"
+            )
+        pause_time = float(pause_time)
+        if not (np.isfinite(pause_time) and pause_time >= 0.0):
+            raise ConfigurationError(
+                f"pause_time must be finite and >= 0, got {pause_time}"
+            )
         self.speed_range = (lo, hi)
-        self.pause_time = float(pause_time)
+        self.pause_time = pause_time
         self._targets: Optional[np.ndarray] = None
         self._speeds: Optional[np.ndarray] = None
         self._pause_left: Optional[np.ndarray] = None
@@ -116,8 +133,7 @@ class RandomWaypoint(MobilityModel):
         self._pause_left = np.zeros(n)
 
     def step(self, positions: np.ndarray, dt: float) -> np.ndarray:
-        if dt < 0.0:
-            raise ConfigurationError(f"dt must be >= 0, got {dt}")
+        dt = _validate_dt(dt)
         pts = np.array(positions, dtype=float, copy=True)
         n = pts.shape[0]
         if self._targets is None or self._targets.shape[0] != n:

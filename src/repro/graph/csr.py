@@ -214,7 +214,7 @@ class CSRGraph:
                 fresh = flat[labels[flat] < 0]
                 if fresh.size == 0:
                     break
-                frontier = np.unique(fresh)
+                frontier = sorted_unique(fresh)
                 labels[frontier] = label
             label += 1
         return labels
@@ -368,6 +368,68 @@ def csr_from_positions(
     return CSRGraph.from_pairs(n, us, vs, ids=ids)
 
 
+def apply_edge_delta(
+    csr: CSRGraph,
+    added: np.ndarray,
+    removed: np.ndarray,
+) -> CSRGraph:
+    """A new :class:`CSRGraph` with an undirected edge delta applied.
+
+    The mobility maintenance hot path: instead of re-running the whole
+    cell sweep after a tick, the per-tick appeared/vanished edges are
+    merged into the existing adjacency.  Removals become one vectorised
+    membership mask over the sorted directed-key stream; insertions merge
+    in with two ``searchsorted`` passes (the classic two-sorted-array
+    merge), so no per-row Python work happens and rows without a changed
+    edge are a straight memcpy.
+
+    Args:
+        csr: The current adjacency.
+        added: Sorted unique canonical keys ``u * n + v`` (``u < v``, CSR
+            rows) of edges to insert; none may already exist.
+        removed: Sorted unique canonical keys of edges to delete; all must
+            exist.
+
+    Returns:
+        The updated graph (ids carried over unchanged).
+
+    Raises:
+        GeometryError: if an added edge already exists or a removed edge
+            does not — a corrupted delta would otherwise silently produce
+            an adjacency that no longer matches any position snapshot.
+    """
+    n = csr.num_nodes
+    added = np.asarray(added, dtype=np.int64)
+    removed = np.asarray(removed, dtype=np.int64)
+    if added.shape[0] == 0 and removed.shape[0] == 0:
+        return csr
+    old = csr.edge_keys()
+    # Both directions of every undirected delta edge, as sorted directed
+    # keys in the same ``src * n + dst`` space as ``edge_keys``.
+    add_dir = np.sort(
+        np.concatenate([(added // n) * n + added % n,
+                        (added % n) * n + added // n])
+    )
+    rem_dir = np.sort(
+        np.concatenate([(removed // n) * n + removed % n,
+                        (removed % n) * n + removed // n])
+    )
+    if not searchsorted_membership(old, rem_dir).all():
+        raise GeometryError("edge delta removes a non-existent edge")
+    if searchsorted_membership(old, add_dir).any():
+        raise GeometryError("edge delta adds an already-present edge")
+    kept = old[~searchsorted_membership(rem_dir, old)]
+    merged = np.empty(kept.shape[0] + add_dir.shape[0], dtype=np.int64)
+    merged[np.arange(kept.shape[0], dtype=np.int64)
+           + np.searchsorted(add_dir, kept)] = kept
+    merged[np.arange(add_dir.shape[0], dtype=np.int64)
+           + np.searchsorted(kept, add_dir)] = add_dir
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(merged // n, minlength=n), out=indptr[1:])
+    return CSRGraph(indptr, merged % n, ids=None if csr.has_identity_ids
+                    else csr.ids)
+
+
 # -- segment primitives shared by the array kernels ------------------------
 
 
@@ -469,6 +531,12 @@ def sort_quads(
     beyond that only pairs pack safely.  All tiers produce the identical
     order.
     """
+    # int64 up front: int32 input (CSR indices) would wrap inside the
+    # packed keys long before the tier guards account for it.
+    head = np.asarray(head, dtype=np.int64)
+    ch = np.asarray(ch, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    w = np.asarray(w, dtype=np.int64)
     if n <= _PACK4_MAX:
         key = np.sort(((head * n + ch) * n + v) * n + w)
         rest = key // n
@@ -494,6 +562,9 @@ def sort_triples(
     unpacking); beyond that a lexsort over the always-safe pair key
     produces the identical order instead of silently overflowing.
     """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    c = np.asarray(c, dtype=np.int64)
     if n <= _PACK3_MAX:
         key = np.sort((a * n + b) * n + c)
         ab = key // n
@@ -509,3 +580,30 @@ def searchsorted_membership(haystack: np.ndarray, needles: np.ndarray) -> np.nda
     pos = np.searchsorted(haystack, needles)
     pos_c = np.minimum(pos, haystack.shape[0] - 1)
     return haystack[pos_c] == needles
+
+
+def sorted_unique(values: np.ndarray) -> np.ndarray:
+    """Sorted unique of an integer array: stable (radix) sort + boundaries.
+
+    ``np.unique`` routes integer input through a hash table whose fixed
+    overhead dwarfs the work for the small-to-mid arrays the maintenance
+    kernels produce every tick — and its output must be sorted anyway.
+    """
+    if values.shape[0] <= 1:
+        return np.sort(values)
+    out = np.sort(values, kind="stable")
+    keep = np.empty(out.shape[0], dtype=bool)
+    keep[0] = True
+    np.not_equal(out[1:], out[:-1], out=keep[1:])
+    return out[keep]
+
+
+def mask_unique_rows(rows: np.ndarray, n: int) -> np.ndarray:
+    """Sorted unique of row indices in ``[0, n)`` via a boolean scatter.
+
+    O(n + len(rows)) with no sort at all — the fastest dedupe when the
+    values are graph rows and ``n`` is at hand.
+    """
+    mask = np.zeros(n, dtype=bool)
+    mask[rows] = True
+    return np.flatnonzero(mask)

@@ -19,6 +19,7 @@ from repro.maintenance.incremental import (
     IncrementalLowestIdClustering,
     RepairSummary,
 )
+from repro.maintenance.kernels import KernelMobilitySession, KernelTickReport
 from repro.maintenance.live import LiveEpochReport, LiveMaintenanceSession
 from repro.maintenance.session import MaintenanceReport, MobilitySession
 
@@ -31,6 +32,8 @@ __all__ = [
     "MaintenanceReport",
     "IncrementalLowestIdClustering",
     "RepairSummary",
+    "KernelMobilitySession",
+    "KernelTickReport",
     "LiveMaintenanceSession",
     "LiveEpochReport",
 ]

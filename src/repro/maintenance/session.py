@@ -14,11 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
+
 from repro.backbone.static_backbone import Backbone, build_static_backbone
 from repro.cluster.lowest_id import lowest_id_clustering
 from repro.cluster.state import ClusterStructure
 from repro.geometry.mobility import MobilityModel
 from repro.graph.connectivity import is_connected
+from repro.graph.csr import CSR_CUTOVER
 from repro.graph.network import Network
 from repro.maintenance.incremental import IncrementalLowestIdClustering
 from repro.maintenance.stability import (
@@ -75,6 +78,14 @@ class MobilitySession:
             recomputes only the dirty heads.  The per-tick structures and
             backbones are identical to the from-scratch path (property
             tested) — only the work done differs.
+        kernel: Run the per-tick maintenance through the array-native
+            :class:`~repro.maintenance.kernels.KernelMobilitySession`
+            (incremental grid re-binning, CSR edge-delta repair, masked
+            coverage/selection recompute), materialising the same
+            per-tick networks, structures, backbones and churn reports.
+            ``None`` (the default) auto-enables it above the CSR cutover
+            for the 2.5-hop policy; when active it supersedes
+            ``incremental`` and :attr:`coverage_index` stays ``None``.
     """
 
     def __init__(
@@ -84,6 +95,7 @@ class MobilitySession:
         policy: CoveragePolicy = CoveragePolicy.TWO_FIVE_HOP,
         *,
         incremental: bool = False,
+        kernel: Optional[bool] = None,
     ) -> None:
         self.network = network
         self.mobility = mobility
@@ -92,10 +104,32 @@ class MobilitySession:
         self._ids = network.graph.nodes()
         self.incremental = incremental
         #: The coverage/selection cache driving the incremental path
-        #: (``None`` when ``incremental=False``).
+        #: (``None`` when ``incremental=False`` or the kernel is active).
         self.coverage_index: Optional[CoverageIndex] = None
         self._clustering: Optional[IncrementalLowestIdClustering] = None
-        if incremental:
+        if kernel is None:
+            kernel = (
+                network.num_nodes >= CSR_CUTOVER
+                and policy is CoveragePolicy.TWO_FIVE_HOP
+            )
+        self.kernel = bool(kernel)
+        self._kernel_session = None
+        if self.kernel:
+            from repro.maintenance.kernels import KernelMobilitySession
+
+            self._kernel_session = KernelMobilitySession(
+                network.position_array(self._ids),
+                network.radius,
+                mobility,
+                ids=np.asarray(self._ids, dtype=np.int64),
+                area=network.area,
+                torus=network.torus,
+                policy=policy,
+                connectivity=True,
+            )
+            self.structure = self._kernel_session.structure(network=network)
+            self.backbone = self._kernel_session.backbone(self.structure)
+        elif incremental:
             self._clustering = IncrementalLowestIdClustering(network.graph)
             self.coverage_index = CoverageIndex(self._clustering.view, policy)
             self.structure = self._clustering.structure(graph=network.graph)
@@ -137,6 +171,8 @@ class MobilitySession:
             The tick's :class:`MaintenanceReport` (also appended to
             :attr:`history`).
         """
+        if self._kernel_session is not None:
+            return self._step_kernel(dt)
         old_network = self.network
         old_structure = self.structure
         old_backbone = self.backbone
@@ -156,6 +192,43 @@ class MobilitySession:
             cluster_churn=cluster_churn(old_structure, self.structure),
             backbone_churn=backbone_churn(old_backbone, self.backbone),
             link_changes=len(old_edges ^ new_edges),
+        )
+        self.history.append(report)
+        return report
+
+    def _step_kernel(self, dt: float) -> MaintenanceReport:
+        """Advance one tick through the array-native kernel session."""
+        kernel = self._kernel_session
+        assert kernel is not None
+        tick = kernel.step(dt)
+        self.time += dt
+        self.network = kernel.network()
+        self.structure = kernel.structure(network=self.network)
+        self.backbone = kernel.backbone(self.structure)
+        churn = kernel.churn_ids()
+        n = self.network.num_nodes
+        connected = tick.connected
+        if connected is None:
+            connected = is_connected(self.network.graph)
+        report = MaintenanceReport(
+            time=self.time,
+            network=self.network,
+            structure=self.structure,
+            backbone=self.backbone,
+            connected=connected,
+            cluster_churn=ClusterChurn(
+                heads_gained=churn["heads_gained"],
+                heads_lost=churn["heads_lost"],
+                reassigned_members=churn["reassigned"],
+                total_nodes=n,
+            ),
+            backbone_churn=BackboneChurn(
+                gateways_gained=churn["gateways_gained"],
+                gateways_lost=churn["gateways_lost"],
+                heads_with_new_selection=churn["resignalling"],
+                total_nodes=n,
+            ),
+            link_changes=tick.link_changes,
         )
         self.history.append(report)
         return report

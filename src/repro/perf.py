@@ -2,11 +2,13 @@
 
 Lightweight wall-clock/call counters on the trial pipeline's stages —
 ``placement``, ``construction``, ``clustering``, ``coverage``,
-``selection``, ``broadcast`` and ``channel`` (PHY/MAC decision time, which
-nests inside ``broadcast`` and is attributed exclusively) — so sweeps can
-report *where* their time goes instead of one opaque total.  The ``repro
-perf`` CLI subcommand and ``benchmarks/bench_trials_parallel.py`` are the
-consumers.
+``selection``, ``broadcast``, ``channel`` (PHY/MAC decision time, which
+nests inside ``broadcast`` and is attributed exclusively) and
+``maintenance`` (per-tick mobility upkeep, with ``maintenance.step`` /
+``maintenance.delta`` / ``maintenance.repair`` sub-stages nested inside
+it) — so sweeps can report *where* their time goes instead of one opaque
+total.  The ``repro perf`` CLI subcommand and
+``benchmarks/bench_trials_parallel.py`` are the consumers.
 
 Design constraints:
 
@@ -46,6 +48,7 @@ STAGES = (
     "selection",
     "broadcast",
     "channel",
+    "maintenance",
 )
 
 _enabled = os.environ.get("REPRO_PERF", "") not in ("", "0")

@@ -16,6 +16,11 @@ from repro.workload.experiments import (
 )
 from repro.workload.contention import ContentionPoint, run_contention_sweep
 from repro.workload.faultsweep import FaultSweepPoint, run_fault_sweep
+from repro.workload.mobility_scaling import (
+    MobilityScalingPoint,
+    make_mobility_trial,
+    run_mobility_scaling,
+)
 from repro.workload.robustness import RobustnessPoint, run_robustness_sweep
 from repro.workload.scaling import ScalingPoint, run_scaling_study
 from repro.workload.storm import StormPoint, run_storm_experiment
@@ -38,4 +43,7 @@ __all__ = [
     "run_storm_experiment",
     "ScalingPoint",
     "run_scaling_study",
+    "MobilityScalingPoint",
+    "run_mobility_scaling",
+    "make_mobility_trial",
 ]

@@ -104,3 +104,49 @@ class TestRandomWaypoint:
     def test_negative_pause_rejected(self):
         with pytest.raises(ConfigurationError):
             RandomWaypoint(pause_time=-1.0)
+
+
+class TestParameterValidation:
+    """NaN/inf parameters must fail fast, not poison positions silently.
+
+    Regression suite: a NaN speed or dt used to propagate straight into
+    the position array (NaN > anything is False, so the reflection clamp
+    passed it through), producing a fully-NaN network ticks later.
+    """
+
+    @pytest.mark.parametrize("speed", [float("nan"), float("inf"), -0.5])
+    def test_walk_rejects_bad_speed(self, speed):
+        with pytest.raises(ConfigurationError):
+            RandomWalk(speed=speed)
+
+    @pytest.mark.parametrize("speed_range", [
+        (float("nan"), 1.0),
+        (1.0, float("nan")),
+        (1.0, float("inf")),
+        (-1.0, 1.0),
+    ])
+    def test_waypoint_rejects_bad_speed_range(self, speed_range):
+        with pytest.raises(ConfigurationError):
+            RandomWaypoint(speed_range=speed_range)
+
+    @pytest.mark.parametrize("pause", [float("nan"), float("inf"), -2.0])
+    def test_waypoint_rejects_bad_pause(self, pause):
+        with pytest.raises(ConfigurationError):
+            RandomWaypoint(pause_time=pause)
+
+    @pytest.mark.parametrize("dt", [float("nan"), float("-inf"), -0.1])
+    def test_walk_rejects_bad_dt(self, dt):
+        walk = RandomWalk(speed=1.0, rng=0)
+        with pytest.raises(ConfigurationError):
+            walk.step(np.zeros((3, 2)), dt)
+
+    @pytest.mark.parametrize("dt", [float("nan"), float("inf"), -1.0])
+    def test_waypoint_rejects_bad_dt(self, dt):
+        model = RandomWaypoint(rng=0)
+        with pytest.raises(ConfigurationError):
+            model.step(np.zeros((3, 2)), dt)
+
+    def test_zero_dt_is_identity(self):
+        model = RandomWaypoint(rng=0)
+        pts = uniform_placement(6, rng=1)
+        assert np.allclose(model.step(pts, 0.0), pts)
