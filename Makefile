@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper bench-topology bench-faults bench-channel bench-broadcast bench-mobility bench-parallel chaos figures examples lint clean
+.PHONY: install test bench bench-paper bench-topology bench-faults bench-channel bench-broadcast bench-mobility bench-parallel bench-serve chaos serve-chaos figures examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -37,9 +37,16 @@ bench-mobility:
 bench-parallel:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_trials_parallel.py
 
+bench-serve:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve.py
+
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_chaos_exec.py tests/test_exec_supervise.py tests/test_exec_journal.py -m "slow or not slow"
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_chaos_exec.py
+
+serve-chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_chaos_serve.py tests/test_serve_protocol.py tests/test_serve_service.py tests/test_serve_server.py -m "slow or not slow"
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve.py --quick
 
 figures:
 	$(PYTHON) -m repro.cli experiment fig6 --ci

@@ -1,0 +1,193 @@
+"""Serve-daemon warm-pool throughput: the ``serve-warm-n100`` trajectory.
+
+Measures what the daemon exists to make fast: many small experiment
+requests answered by **one long-lived service** whose process pool and
+scenario cache stay warm across requests, instead of paying
+interpreter + pool + cache startup per run.  The scenario is a batch of
+fig6-style single-point sweeps at ``n=100`` submitted back-to-back
+through a warm :class:`~repro.serve.service.ServeService`:
+
+* asserts the **determinism contract** — every served answer must equal
+  the serial one-shot oracle for its parameters;
+* measures batch throughput (requests/s and trials/s) and the warm-up
+  ratio (first request, which pays pool startup, vs the rest);
+* appends the measurement to the persisted ``BENCH_trials.json``
+  trajectory and fails if throughput regressed to below 70% of the
+  previous comparable point (same label, same core count).
+
+Runs standalone (CI ``serve-chaos`` lane and ``make serve-chaos``)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick
+    PYTHONPATH=src python benchmarks/bench_serve.py --json
+
+It is also collected by pytest (``bench_*.py``): the hook below asserts
+the served-equals-oracle contract on a tiny request; timing stays out of
+the default suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.io.results import append_perf_point, load_perf_trajectory
+from repro.serve.service import ServeService
+from repro.workload.serve_adapters import RunContext, get_adapter
+
+#: Default trajectory location (committed at the repo root).
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_trials.json"
+
+#: Regression gate: fresh throughput must reach this fraction of the
+#: previous comparable trajectory point.
+REGRESSION_FLOOR = 0.7
+
+#: The per-request experiment: one fig6 point at n=100 (d=6, the sparse
+#: regime where scenario construction dominates and the warm cache pays).
+def _request_params(*, trials: int, seed: int) -> dict:
+    return {"ns": [100], "degrees": [6.0], "trials": trials, "seed": seed}
+
+
+def _oracle(params: dict) -> str:
+    adapter = get_adapter("fig6")
+    result = adapter.run(adapter.validate(params),
+                         RunContext(backend="serial", parallel=1))
+    return json.dumps(result, sort_keys=True)
+
+
+def run_bench(*, quick: bool, requests: int, trials: int, workers: int,
+              seed: int) -> dict:
+    """One warm service, ``requests`` sequential submits, all verified."""
+    per_request = []
+    with tempfile.TemporaryDirectory() as tmp:
+        service = ServeService(Path(tmp) / "state", backend="process",
+                               workers=workers, queue_limit=requests + 2,
+                               watermark=requests + 2)
+        service.start()
+        try:
+            t_batch = time.perf_counter()
+            for i in range(requests):
+                params = _request_params(trials=trials, seed=seed + i)
+                t0 = time.perf_counter()
+                req = service.submit({"op": "submit", "experiment": "fig6",
+                                      "params": params,
+                                      "id": f"bench-{i}"})
+                assert req.wait_terminal(600), f"request {i} never finished"
+                per_request.append(time.perf_counter() - t0)
+                assert req.state == "done", (req.state, req.error)
+                served = json.dumps(req.result, sort_keys=True)
+                assert served == _oracle(params), (
+                    f"served answer for request {i} diverged from the "
+                    f"serial oracle — the determinism contract is broken"
+                )
+            batch_seconds = time.perf_counter() - t_batch
+        finally:
+            service.stop()
+    total_trials = requests * trials
+    warm = per_request[1:] or per_request
+    cores = os.cpu_count() or 1
+    return {
+        "quick": quick,
+        "label": "serve-warm-n100",
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "cores": cores,
+        "workers": workers,
+        "requests": requests,
+        "trials_per_request": trials,
+        "seed": seed,
+        "batch_seconds": round(batch_seconds, 3),
+        "first_request_seconds": round(per_request[0], 3),
+        "warm_request_seconds": round(sum(warm) / len(warm), 3),
+        "requests_per_sec": round(requests / batch_seconds, 3),
+        "trials_per_sec": round(total_trials / batch_seconds, 3),
+        "oracle_identical": True,
+    }
+
+
+def check_gates(summary: dict, bench_file: Path) -> None:
+    """The 0.7x trajectory floor against the last comparable point."""
+    previous = None
+    for rec in reversed(load_perf_trajectory(bench_file)):
+        if (rec.get("label") == summary["label"]
+                and rec.get("cores") == summary["cores"]
+                and rec.get("quick") == summary["quick"]):
+            previous = rec
+            break
+    if previous is not None:
+        floor = REGRESSION_FLOOR * float(previous["trials_per_sec"])
+        assert summary["trials_per_sec"] >= floor, (
+            f"serve throughput regressed: {summary['trials_per_sec']:.2f} "
+            f"trials/s < {floor:.2f} (70% of the previous comparable "
+            f"point {previous['trials_per_sec']:.2f} from "
+            f"{previous.get('timestamp')})"
+        )
+
+
+def test_served_answers_match_the_oracle():
+    """Pytest hook: warm-service answers equal the serial oracle."""
+    summary = run_bench(quick=True, requests=2, trials=2, workers=2, seed=0)
+    assert summary["oracle_identical"]
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small batch for CI smoke (seconds)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests in the batch (default 8; 3 with "
+                             "--quick)")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="paired trials per request (default 6; 3 with "
+                             "--quick)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="warm process-pool worker count (default 4)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--bench-file", type=Path, default=BENCH_FILE,
+                        help="trajectory JSON to compare against and append "
+                             "to")
+    parser.add_argument("--no-record", action="store_true",
+                        help="measure and gate but do not append to the "
+                             "trajectory")
+    args = parser.parse_args(argv)
+
+    requests = args.requests if args.requests is not None else (
+        3 if args.quick else 8)
+    trials = args.trials if args.trials is not None else (
+        3 if args.quick else 6)
+    summary = run_bench(quick=args.quick, requests=requests, trials=trials,
+                        workers=args.workers, seed=args.seed)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"serve warm-pool bench: {summary['label']} "
+              f"({requests} requests x {trials} trials, "
+              f"{summary['cores']} cores)")
+        print(f"  batch         {summary['batch_seconds']:>8.3f}s")
+        print(f"  first request {summary['first_request_seconds']:>8.3f}s "
+              f"(pays pool startup)")
+        print(f"  warm request  {summary['warm_request_seconds']:>8.3f}s")
+        print(f"  throughput    {summary['requests_per_sec']:>8.2f} req/s "
+              f"({summary['trials_per_sec']:.1f} trials/s)")
+        print("  every served answer equals the serial oracle")
+    try:
+        check_gates(summary, args.bench_file)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    if not args.no_record:
+        length = append_perf_point(args.bench_file, summary)
+        print(f"recorded trajectory point {length} in {args.bench_file}")
+    print(f"OK: {summary['trials_per_sec']:.1f} trials/s warm")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

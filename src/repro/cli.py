@@ -15,6 +15,9 @@
 * ``faults``     — delivery under fault schedules (crashes, cuts, windows);
 * ``channel``    — delivery under SINR interference and MAC contention;
 * ``mobility``   — backbone churn under node movement;
+* ``serve``      — the crash-safe experiment daemon on a unix socket
+  (bounded-queue backpressure, per-request journals, restart recovery;
+  see docs/serving.md);
 * ``route``      — a unicast route over the backbone.
 
 All commands accept ``--seed`` for reproducibility.
@@ -635,6 +638,41 @@ def _cmd_mobility(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.serve.server import ServeServer
+    from repro.serve.service import ServeService
+
+    service = ServeService(
+        args.root,
+        backend=args.backend, workers=args.parallel,
+        queue_limit=args.queue_limit, watermark=args.watermark,
+        retries=args.retries if args.retries is not None else 2,
+        chunk_timeout=args.chunk_timeout,
+        default_deadline=args.deadline,
+    )
+    recovered = service.start()
+    server = ServeServer(service, args.socket)
+    server.start()
+    if recovered:
+        print(f"recovered {recovered} unfinished request(s)",
+              file=sys.stderr)
+    print(f"serving on {args.socket}", flush=True)
+
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    stop.wait()
+    print("draining...", file=sys.stderr, flush=True)
+    drained = server.shutdown(grace=args.drain_grace)
+    if not drained:
+        print("drain grace expired; unfinished requests stay journaled "
+              "for the next start", file=sys.stderr)
+    return 0
+
+
 def _cmd_route(args: argparse.Namespace) -> int:
     from repro.backbone.static_backbone import build_static_backbone
     from repro.cluster.lowest_id import lowest_id_clustering
@@ -848,6 +886,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ticks", type=int, default=10)
     p.set_defaults(func=_cmd_mobility)
 
+
+    p = sub.add_parser(
+        "serve",
+        help="run the crash-safe experiment daemon on a unix socket",
+    )
+    p.add_argument("--socket", required=True,
+                   help="unix socket path to listen on")
+    p.add_argument("--root", required=True,
+                   help="durable state directory (request manifests and "
+                        "journals; recovery scans it on start)")
+    p.add_argument("--backend", choices=["serial", "thread", "process"],
+                   default="process",
+                   help="warm-pool backend shared across requests")
+    p.add_argument("--parallel", type=int, default=2,
+                   help="worker count of the warm pool")
+    p.add_argument("--queue-limit", type=int, default=16,
+                   help="hard admission bound (urgent requests shed here)")
+    p.add_argument("--watermark", type=int, default=None,
+                   help="depth at which normal requests shed with "
+                        "'overloaded' (default: queue-limit/2)")
+    p.add_argument("--retries", type=int, default=None,
+                   help="supervised retry budget per wave chunk (default 2)")
+    p.add_argument("--chunk-timeout", type=float, default=None,
+                   help="supervised per-chunk deadline in seconds")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="default per-request deadline in seconds")
+    p.add_argument("--drain-grace", type=float, default=30.0,
+                   help="seconds to wait for accepted work on "
+                        "SIGTERM/SIGINT before exiting (leftovers are "
+                        "recovered on the next start)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("route", help="unicast route over the backbone")
     _add_network_args(p)

@@ -169,10 +169,40 @@ class _PooledBackend(ExecutionBackend):
                 self._pool = self._make_pool()
             return self._pool
 
+    def _take_pool(self) -> Optional[Executor]:
+        """Detach the current pool under the lock (None when already gone).
+
+        Close/abandon first *swap* the reference atomically and only then
+        shut the detached pool down outside the lock: two concurrent
+        closers each shut down at most their own detached pool (double
+        close is a no-op), and a close racing a rebuild either takes the
+        fresh pool or leaves it for the next wave — never shuts down a
+        pool another thread is still installing.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            return pool
+
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        pool = self._take_pool()
+        if pool is not None:
+            pool.shutdown()
+
+    def _submit_wave(self, submit):
+        """Run ``submit(pool)`` against a live pool, resubmitting if a
+        concurrent ``close``/``abandon`` shut the pool down between
+        ``_ensure_pool`` returning it and the submission landing.  Safe
+        because waves are idempotent (pure functions of their
+        ``(index, seed)`` items) — a resubmitted wave returns
+        bit-identical results.
+        """
+        while True:
+            pool = self._ensure_pool()
+            try:
+                return submit(pool)
+            except RuntimeError as exc:
+                if "shutdown" not in str(exc):
+                    raise
 
 
 def _run_spec_chunk(spec: TrialSpec,
@@ -216,17 +246,16 @@ class ThreadBackend(_PooledBackend):
         thread until the function returns; pending work is cancelled and
         the pool reference is dropped so the next wave starts fresh.
         """
-        pool, self._pool = self._pool, None
+        pool = self._take_pool()
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
 
     def run_wave(self, job, start_index, seeds):
-        pool = self._ensure_pool()
         indexed = list(enumerate(seeds, start=start_index))
-        return list(pool.map(
+        return self._submit_wave(lambda pool: list(pool.map(
             lambda item: job.call(item[0], np.random.default_rng(item[1])),
             indexed,
-        ))
+        )))
 
 
 class ProcessBackend(_PooledBackend):
@@ -252,7 +281,7 @@ class ProcessBackend(_PooledBackend):
         waiting forever), and the dead pool is dropped for
         :meth:`_ensure_pool` to rebuild on the next wave.
         """
-        pool, self._pool = self._pool, None
+        pool = self._take_pool()
         if pool is None:
             return
         for proc in list(getattr(pool, "_processes", {}).values()):
@@ -270,19 +299,24 @@ class ProcessBackend(_PooledBackend):
                 "the trial with TrialSpec.create(...) or use the serial/"
                 "thread backend"
             )
-        pool = self._ensure_pool()
         items = list(enumerate(seeds, start=start_index))
-        futures = [
-            pool.submit(_run_spec_chunk, job.spec, chunk)
-            for chunk in _chunk(items, self.workers)
-        ]
-        results: List[Mapping[str, float]] = []
-        for future in futures:  # submission order == trial-index order
-            results.extend(future.result())
-        return results
+        chunks = _chunk(items, self.workers)
+
+        def submit(pool):
+            futures = [
+                pool.submit(_run_spec_chunk, job.spec, chunk)
+                for chunk in chunks
+            ]
+            results: List[Mapping[str, float]] = []
+            for future in futures:  # submission order == trial-index order
+                results.extend(future.result())
+            return results
+
+        return self._submit_wave(submit)
 
 
 _SHARED: Dict[Tuple[str, int], ExecutionBackend] = {}
+_SHARED_LOCK = threading.Lock()
 
 BackendLike = Union[None, str, ExecutionBackend]
 
@@ -290,31 +324,44 @@ BackendLike = Union[None, str, ExecutionBackend]
 def shared_backend(name: str, workers: int = 1) -> ExecutionBackend:
     """A memoized backend per ``(name, workers)`` — pools stay warm.
 
-    Shared pools are shut down at interpreter exit (or explicitly via
-    :func:`shutdown_shared_backends`).
+    Shared pools are shut down at interpreter exit (the registered
+    :func:`shutdown_shared_backends` ``atexit`` hook) or explicitly.
+    Registry access is lock-guarded: concurrent first requests for the
+    same key get one backend, not one each.
     """
     _validate_workers(workers)
     if name == "serial":
         return SerialBackend()
+    if name not in ("thread", "process"):
+        raise ConfigurationError(
+            f"unknown backend {name!r}; expected one of {BACKENDS}"
+        )
     key = (name, workers)
-    backend = _SHARED.get(key)
-    if backend is None:
-        if name == "thread":
-            backend = ThreadBackend(workers)
-        elif name == "process":
-            backend = ProcessBackend(workers)
-        else:
-            raise ConfigurationError(
-                f"unknown backend {name!r}; expected one of {BACKENDS}"
-            )
-        _SHARED[key] = backend
-    return backend
+    with _SHARED_LOCK:
+        backend = _SHARED.get(key)
+        if backend is None:
+            if name == "thread":
+                backend = ThreadBackend(workers)
+            else:
+                backend = ProcessBackend(workers)
+            _SHARED[key] = backend
+        return backend
 
 
 def shutdown_shared_backends() -> None:
-    """Close every pooled backend handed out by :func:`shared_backend`."""
-    while _SHARED:
-        _, backend = _SHARED.popitem()
+    """Close every pooled backend handed out by :func:`shared_backend`.
+
+    Idempotent and safe against concurrent callers (and against a
+    shared_backend() racing in): the registry is drained under the lock,
+    each detached backend is closed outside it, and pooled ``close`` is
+    itself idempotent — a backend that was already closed (or is closed
+    twice by racing shutdowns) is a no-op.
+    """
+    while True:
+        with _SHARED_LOCK:
+            if not _SHARED:
+                return
+            _, backend = _SHARED.popitem()
         backend.close()
 
 

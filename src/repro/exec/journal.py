@@ -17,7 +17,17 @@ A long Monte-Carlo sweep that dies — OOM kill, preempted spot instance,
   foreign trials;
 * **torn-tail tolerance** — a crash mid-append leaves at most one partial
   final line; on open it is detected, dropped and truncated away.  A
-  malformed record anywhere *else* is real corruption and raises.
+  malformed record anywhere *else* is real corruption and raises, and so
+  does a torn *header* (a file with no complete first line cannot carry a
+  verifiable run key — the serve recovery scan treats that as "restart
+  this run from nothing", see :mod:`repro.serve.recovery`);
+* a **single-writer lock** — opening a journal takes an exclusive
+  advisory lock (``flock``) on the file plus an in-process registration,
+  and a second open of the same path raises :class:`JournalError` while
+  the first is live.  Two writers interleaving fsync'd appends would
+  corrupt the contiguous-prefix invariant that resume depends on, so the
+  daemon's restart scan can trust that a lockable journal has no
+  surviving owner.
 
 Resume semantics (see :func:`repro.workload.trials.paired_trials`): the
 journal of one experiment point always holds a contiguous prefix
@@ -33,8 +43,14 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Set, Union
+
+try:  # POSIX advisory locking; degrade to in-process-only elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.errors import JournalError
 
@@ -42,6 +58,12 @@ PathLike = Union[str, Path]
 
 JOURNAL_FORMAT = "repro-run-journal"
 _JOURNAL_VERSION = 1
+
+#: In-process single-writer registry (absolute paths of open journals).
+#: The flock below already covers same-process double opens on POSIX;
+#: this registry keeps the guarantee where fcntl is unavailable.
+_OPEN_PATHS: Set[str] = set()
+_OPEN_LOCK = threading.Lock()
 
 
 def _normalise_key(key: Mapping) -> dict:
@@ -65,7 +87,37 @@ class RunJournal:
         self.path = path
         self.run_key = run_key
         self._records = records
+        self._locked_path: Optional[str] = None
         self._fh = open(path, "a", encoding="utf-8")
+        try:
+            self._acquire_writer_lock()
+        except BaseException:
+            self._fh.close()
+            self._fh = None
+            raise
+
+    def _acquire_writer_lock(self) -> None:
+        """Become the journal's single writer or raise :class:`JournalError`."""
+        resolved = str(Path(self.path).resolve())
+        with _OPEN_LOCK:
+            if resolved in _OPEN_PATHS:
+                raise JournalError(
+                    f"journal {self.path} is already open for writing in "
+                    f"this process; a journal has exactly one writer"
+                )
+            _OPEN_PATHS.add(resolved)
+        if fcntl is not None:
+            try:
+                fcntl.flock(self._fh.fileno(),
+                            fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                with _OPEN_LOCK:
+                    _OPEN_PATHS.discard(resolved)
+                raise JournalError(
+                    f"journal {self.path} is locked by another writer "
+                    f"(live process); refusing the concurrent open"
+                ) from None
+        self._locked_path = resolved
 
     # -- lifecycle --------------------------------------------------------
 
@@ -185,10 +237,15 @@ class RunJournal:
         return records
 
     def close(self) -> None:
-        """Flush and close the journal file (idempotent)."""
+        """Flush and close the journal file, releasing the writer lock
+        (idempotent)."""
         if self._fh is not None:
-            self._fh.close()
+            self._fh.close()  # closing the fd also drops the flock
             self._fh = None
+        if self._locked_path is not None:
+            with _OPEN_LOCK:
+                _OPEN_PATHS.discard(self._locked_path)
+            self._locked_path = None
 
     def __enter__(self) -> "RunJournal":
         """Context-manager entry: the open journal itself."""

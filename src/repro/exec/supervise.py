@@ -9,10 +9,15 @@ stack:
 
 * each wave is split into **chunks** (one per inner worker) and every chunk
   runs under a watchdog with an optional per-chunk timeout;
-* failures are **classified** — ``crash`` (a broken executor: a worker died),
-  ``timeout`` (the chunk overran its deadline) or ``transient`` (any other
-  exception) — while :class:`~repro.errors.ConfigurationError` is never
-  retried, because a misconfigured job fails the same way every time;
+* failures are **classified** — ``crash`` (a broken executor or dead
+  worker: ``BrokenExecutor``, ``BrokenPipeError``, ``MemoryError``),
+  ``timeout`` (the chunk overran its deadline), ``fatal`` (an environment
+  failure retrying cannot fix, e.g. ``ENOSPC``/``EROFS``) or ``transient``
+  (any other exception, including retryable OS errors such as
+  ``EMFILE``/``EAGAIN``) — while
+  :class:`~repro.errors.ConfigurationError` is never retried, because a
+  misconfigured job fails the same way every time, and ``fatal`` failures
+  are re-raised immediately for the same reason;
 * failed chunks are **retried** with capped exponential backoff plus jitter.
   Retrying is safe because chunks are idempotent: a chunk is a pure function
   of its ``(trial index, seed sequence)`` items, so a re-run returns
@@ -34,11 +39,12 @@ around infrastructure failures, never around a trial that is itself broken.
 
 from __future__ import annotations
 
+import errno
 import random
 import threading
 import time
 from concurrent.futures import BrokenExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -55,7 +61,18 @@ from repro.exec.backends import (
 )
 
 #: Failure classes the supervisor distinguishes.
-FAILURE_KINDS = ("crash", "timeout", "transient")
+FAILURE_KINDS = ("crash", "timeout", "transient", "fatal")
+
+#: OS errnos that a retry genuinely can fix: resource-exhaustion blips
+#: (file descriptors, fork pressure) and interrupted syscalls.
+_TRANSIENT_ERRNOS = frozenset({
+    errno.EMFILE, errno.ENFILE, errno.EAGAIN, errno.EINTR,
+})
+
+#: OS errnos no retry can fix: a full or read-only filesystem fails the
+#: same way on every attempt, so burning the retry budget only delays the
+#: inevitable (and hides the real problem from the operator).
+_FATAL_ERRNOS = frozenset({errno.ENOSPC, errno.EROFS, errno.EDQUOT})
 
 #: The graceful-degradation ladder, fastest tier first.
 DEGRADE_ORDER = ("process", "thread", "serial")
@@ -89,6 +106,17 @@ class ExecEvent:
     chunk_size: Optional[int] = None
     detail: str = ""
 
+    def to_dict(self) -> dict:
+        """A JSON-serialisable view (the serve layer streams these)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExecEvent":
+        """Rebuild an event from :meth:`to_dict` output (extras ignored)."""
+        fields = {"kind", "backend", "failure", "attempt",
+                  "chunk_start", "chunk_size", "detail"}
+        return cls(**{k: v for k, v in dict(data).items() if k in fields})
+
 
 class _ChunkTimeout(Exception):
     """Internal marker: a chunk overran its per-chunk deadline."""
@@ -98,15 +126,29 @@ def classify_failure(exc: BaseException) -> str:
     """Classify an execution failure into one of :data:`FAILURE_KINDS`.
 
     ``BrokenExecutor`` (including ``BrokenProcessPool``: a worker died or
-    was killed) is a ``crash``; the internal timeout marker is a
-    ``timeout``; everything else is ``transient``.  Configuration errors
-    are *not* classified — callers re-raise them, retrying cannot fix a
-    bad job description.
+    was killed), ``BrokenPipeError`` (a worker vanished mid-IPC) and
+    ``MemoryError`` (recovering takes a fresh — and, after degradation, a
+    smaller — pool) are a ``crash``; the internal timeout marker is a
+    ``timeout``; ``OSError`` is split by errno — ``ENOSPC``/``EROFS``/
+    ``EDQUOT`` are ``fatal`` (a full disk fails identically on every
+    attempt), ``EMFILE``/``ENFILE``/``EAGAIN``/``EINTR`` are resource
+    blips and stay ``transient``; everything else is ``transient``.
+    Configuration errors are *not* classified — callers re-raise them,
+    retrying cannot fix a bad job description.
     """
     if isinstance(exc, _ChunkTimeout):
         return "timeout"
     if isinstance(exc, BrokenExecutor):
         return "crash"
+    if isinstance(exc, BrokenPipeError):  # pre-empts the OSError branch
+        return "crash"
+    if isinstance(exc, MemoryError):
+        return "crash"
+    if isinstance(exc, OSError):
+        if exc.errno in _FATAL_ERRNOS:
+            return "fatal"
+        if exc.errno in _TRANSIENT_ERRNOS:
+            return "transient"
     return "transient"
 
 
@@ -134,6 +176,7 @@ class SupervisedBackend(ExecutionBackend):
         backoff_cap: float = 2.0,
         degrade_after: int = 2,
         on_event: Optional[Callable[[ExecEvent], None]] = None,
+        owns_inner: bool = True,
     ) -> None:
         """Wrap ``inner`` (a backend instance, name, or ``None``).
 
@@ -155,6 +198,13 @@ class SupervisedBackend(ExecutionBackend):
             on_event: Optional callback invoked with every
                 :class:`ExecEvent` (events are also collected on
                 ``self.events``).
+            owns_inner: Whether :meth:`close` closes the inner backend.
+                Pass ``False`` when supervising a *shared* pool (the serve
+                layer wraps one warm pool in a fresh request-scoped
+                supervisor per request): the request's supervisor is
+                closed, the pool lives on.  Recovery (``abandon``) is
+                unaffected — a broken shared pool must still be written
+                off, whoever owns it; it rebuilds lazily on its next wave.
         """
         if retries < 0:
             raise ConfigurationError(f"retries must be >= 0, got {retries}")
@@ -175,6 +225,7 @@ class SupervisedBackend(ExecutionBackend):
         self.events: List[ExecEvent] = []
         self._on_event = on_event
         self._pool_failures = 0
+        self._owns_inner = owns_inner
 
     # -- event plumbing ---------------------------------------------------
 
@@ -249,6 +300,9 @@ class SupervisedBackend(ExecutionBackend):
                 self._emit(kind="degrade", attempt=attempt,
                            detail=f"{self.inner.name} -> {replacement.name}")
                 self.inner = replacement
+                # The replacement was created here, so this supervisor
+                # owns it even when the original inner pool was shared.
+                self._owns_inner = True
                 self._pool_failures = 0
 
     def _backoff(self, attempt: int) -> float:
@@ -293,6 +347,11 @@ class SupervisedBackend(ExecutionBackend):
                 self._emit(kind="chunk-failure", failure=kind,
                            attempt=attempt, chunk_start=chunk[0][0],
                            chunk_size=len(chunk), detail=repr(out))
+                if kind == "fatal":
+                    # A full/read-only filesystem fails identically on
+                    # every attempt; surface it now instead of burning
+                    # the retry budget.
+                    raise out
                 failed.append(cid)
                 last_failure = (kind, out)
                 pool_hit = pool_hit or kind in ("crash", "timeout")
@@ -322,8 +381,9 @@ class SupervisedBackend(ExecutionBackend):
                 for metrics in results[cid]]
 
     def close(self) -> None:
-        """Close the (possibly degraded) inner backend."""
-        self.inner.close()
+        """Close the (possibly degraded) inner backend, if owned."""
+        if self._owns_inner:
+            self.inner.close()
 
     def event_summary(self) -> Mapping[str, int]:
         """Event counts by kind — the CLI's one-line supervision report."""

@@ -1,0 +1,23 @@
+"""repro.serve: a crash-safe, backpressured experiment service.
+
+A long-lived daemon around the experiment harness: clients submit figure
+sweeps, fault sweeps and contention runs over a unix-socket JSON-lines
+protocol; the daemon keeps the scenario cache and one warm execution pool
+across requests, journals every accepted request so a ``kill -9`` costs
+the trials in flight rather than the request, and applies explicit
+backpressure (bounded queue, watermark shedding) instead of unbounded
+buffering.  See docs/serving.md for the protocol and the recovery
+semantics, and :mod:`repro.serve.service` for the lifecycle internals.
+"""
+
+from repro.serve.protocol import MAX_REQUEST_BYTES, ServeError, parse_request
+from repro.serve.service import ServeService
+from repro.serve.server import ServeServer
+
+__all__ = [
+    "MAX_REQUEST_BYTES",
+    "ServeError",
+    "ServeServer",
+    "ServeService",
+    "parse_request",
+]

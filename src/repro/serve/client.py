@@ -1,0 +1,109 @@
+"""A small blocking client for the serve socket.
+
+Used by the CLI (``repro serve-request``), the chaos harness and the
+benchmark; it is intentionally dumb — one connection per call unless a
+stream is held open — because the protocol does all the hard work.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.serve.protocol import MAX_REQUEST_BYTES, ServeError
+
+
+class ServeClient:
+    """Talk JSON lines to a running serve daemon."""
+
+    def __init__(self, socket_path, *, connect_timeout: float = 5.0) -> None:
+        self.socket_path = Path(socket_path)
+        self.connect_timeout = connect_timeout
+
+    def _connect(self, timeout: Optional[float]) -> socket.socket:
+        conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        conn.settimeout(self.connect_timeout)
+        conn.connect(str(self.socket_path))
+        conn.settimeout(timeout)
+        return conn
+
+    def request(self, payload: dict,
+                timeout: Optional[float] = 60.0) -> dict:
+        """Send one request, return its first response frame."""
+        with self._connect(timeout) as conn:
+            conn.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+            reader = conn.makefile("rb")
+            line = reader.readline(MAX_REQUEST_BYTES + 1)
+        if not line:
+            raise ServeError("internal", "connection closed without response")
+        return json.loads(line)
+
+    def submit(self, experiment: str, params: Optional[dict] = None, *,
+               request_id: Optional[str] = None,
+               deadline: Optional[float] = None,
+               urgent: bool = False,
+               timeout: Optional[float] = 60.0) -> dict:
+        """Submit without streaming; returns the ``accepted`` (or error)
+        frame."""
+        payload: dict = {"op": "submit", "experiment": experiment,
+                         "params": params or {}}
+        if request_id is not None:
+            payload["id"] = request_id
+        if deadline is not None:
+            payload["deadline"] = deadline
+        if urgent:
+            payload["urgent"] = True
+        return self.request(payload, timeout)
+
+    def stream(self, experiment: str, params: Optional[dict] = None, *,
+               request_id: Optional[str] = None,
+               deadline: Optional[float] = None,
+               urgent: bool = False,
+               timeout: Optional[float] = None) -> Iterator[dict]:
+        """Submit with streaming; yields every frame up to the terminal
+        one (``result`` or ``error``), then returns."""
+        payload: dict = {"op": "submit", "experiment": experiment,
+                         "params": params or {}, "stream": True}
+        if request_id is not None:
+            payload["id"] = request_id
+        if deadline is not None:
+            payload["deadline"] = deadline
+        if urgent:
+            payload["urgent"] = True
+        with self._connect(timeout) as conn:
+            conn.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+            reader = conn.makefile("rb")
+            while True:
+                line = reader.readline(MAX_REQUEST_BYTES + 1)
+                if not line:
+                    return  # daemon died mid-stream; caller re-polls
+                frame = json.loads(line)
+                yield frame
+                if frame.get("type") in ("result", "error"):
+                    return
+
+    def result(self, request_id: str, *,
+               wait: Optional[float] = None,
+               timeout: Optional[float] = None) -> dict:
+        """Block for a request's terminal frame (``wait``: server-side
+        bound in seconds; omit it to wait until the request finishes)."""
+        payload: dict = {"op": "result", "id": request_id}
+        if wait is not None:
+            payload["timeout"] = wait
+        return self.request(payload, timeout)
+
+    def status(self, request_id: str,
+               timeout: Optional[float] = 60.0) -> dict:
+        """One ``status`` snapshot."""
+        return self.request({"op": "status", "id": request_id}, timeout)
+
+    def cancel(self, request_id: str,
+               timeout: Optional[float] = 60.0) -> dict:
+        """Cancel a request."""
+        return self.request({"op": "cancel", "id": request_id}, timeout)
+
+    def health(self, timeout: Optional[float] = 10.0) -> dict:
+        """The daemon's health/readiness view."""
+        return self.request({"op": "health"}, timeout)

@@ -1,0 +1,358 @@
+"""Request lifecycle: states, the on-disk layout, and progress streaming.
+
+A request moves ``queued -> running -> {done | failed | cancelled}``.
+Terminal transitions are **first-wins**: the deadline watchdog, a cancel,
+and the runner thread may all race to finish one request, and exactly one
+of them succeeds — the others observe ``False`` and write nothing.  That
+single rule is what keeps a late-completing runner from overwriting a
+deadline failure the client has already been told about.
+
+On disk each request owns one directory under ``<root>/requests/<id>/``:
+
+* ``request.json`` — the manifest, written **atomically before** the
+  client hears ``accepted``.  Acceptance therefore *is* durability: a
+  daemon SIGKILLed one instruction after responding still finds the
+  request on restart (see :mod:`repro.serve.recovery`).
+* ``journal.jsonl`` — the request's crash-safe
+  :class:`~repro.exec.journal.RunJournal`; every folded trial lands here
+  before it counts, so a replayed request resumes **bit-identically**.
+* ``result.json`` / ``error.json`` — the terminal record, written
+  atomically by whichever transition won.  Their presence is what the
+  recovery scan keys on: a manifest without a terminal file is work the
+  daemon still owes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.exec.journal import PointJournal, RunJournal
+from repro.exec.supervise import ExecEvent
+from repro.metrics.confidence import confidence_interval
+
+# -- states -----------------------------------------------------------------
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: Terminal states — once entered, a request never leaves.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+# -- on-disk layout ---------------------------------------------------------
+
+MANIFEST_FILE = "request.json"
+JOURNAL_FILE = "journal.jsonl"
+RESULT_FILE = "result.json"
+ERROR_FILE = "error.json"
+
+MANIFEST_FORMAT = "repro-serve-request"
+MANIFEST_VERSION = 1
+
+#: Cap on retained per-request exec events; older ones are summarised by
+#: count so a retry storm cannot grow a request without bound.
+MAX_EVENTS = 500
+
+
+def write_json_atomic(path: Path, payload: Mapping) -> None:
+    """Durably write ``payload`` as JSON via temp file + ``os.replace``.
+
+    The file is never observable half-written: a crash leaves either the
+    old content or the new, and the fsync before the rename makes the
+    rename itself the commit point.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent) or ".",
+                               prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True, separators=(",", ":"))
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class RequestAborted(Exception):
+    """Internal control flow: the request lost its race while running.
+
+    Raised out of the streaming journal's fold hook once a deadline or a
+    cancel has already finished the request — the cheapest place to stop
+    a runner between waves without a cooperative hook in the trial loop.
+    Never crosses the service boundary.
+    """
+
+
+class _PointProgress:
+    """Running per-metric samples of one experiment point."""
+
+    __slots__ = ("count", "values")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.values: Dict[str, List[float]] = {}
+
+    def fold(self, values: Mapping[str, float]) -> None:
+        self.count += 1
+        for label, value in values.items():
+            self.values.setdefault(str(label), []).append(float(value))
+
+    def snapshot(self, confidence: float = 0.99) -> dict:
+        estimates = {}
+        for label, vals in self.values.items():
+            ci = confidence_interval(vals, confidence)
+            estimates[label] = {
+                "mean": ci.mean, "half_width": ci.half_width,
+                "samples": ci.samples,
+            }
+        return {"trials": self.count, "estimates": estimates}
+
+
+class ServeRequest:
+    """One accepted request: identity, lifecycle state, streamed progress.
+
+    Thread-safe: the executor, the deadline watchdog, cancel calls and any
+    number of streaming connections all observe one condition-guarded
+    ``version`` counter that bumps on every state or progress change, so
+    streamers coalesce naturally (they read the latest snapshot, not a
+    backlog of events).
+    """
+
+    def __init__(self, *, request_id: str, experiment: str, params: dict,
+                 seq: int, directory: Path,
+                 deadline: Optional[float] = None, urgent: bool = False,
+                 recovered: bool = False) -> None:
+        self.id = request_id
+        self.experiment = experiment
+        self.params = params
+        self.seq = seq
+        self.directory = Path(directory)
+        self.deadline = deadline
+        self.urgent = urgent
+        self.recovered = recovered
+        self.state = QUEUED
+        self.result = None
+        self.error: Optional[dict] = None
+        self.events: List[ExecEvent] = []
+        self._events_dropped = 0
+        self.version = 0
+        self._cond = threading.Condition()
+        self._points: Dict[str, _PointProgress] = {}
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def run_key(self) -> dict:
+        """What determines the trial streams — the journal's identity."""
+        return {"experiment": self.experiment, "params": self.params}
+
+    def manifest(self) -> dict:
+        """The durable acceptance record (written before ``accepted``)."""
+        return {
+            "format": MANIFEST_FORMAT,
+            "version": MANIFEST_VERSION,
+            "id": self.id,
+            "experiment": self.experiment,
+            "params": self.params,
+            "seq": self.seq,
+            "deadline": self.deadline,
+            "urgent": self.urgent,
+        }
+
+    # -- transitions -------------------------------------------------------
+
+    def begin(self) -> bool:
+        """``queued -> running``; ``False`` if something finished it first."""
+        with self._cond:
+            if self.state != QUEUED:
+                return False
+            self.state = RUNNING
+            self._bump()
+            return True
+
+    def complete(self, result) -> bool:
+        """Terminal success (first-wins)."""
+        return self._finish(DONE, result=result)
+
+    def fail(self, code: str, message: str, *, retryable: bool) -> bool:
+        """Terminal failure (first-wins)."""
+        return self._finish(FAILED, error={
+            "code": code, "message": message, "retryable": retryable,
+        })
+
+    def cancel_terminal(self) -> bool:
+        """Terminal cancellation (first-wins)."""
+        from repro.serve import protocol
+
+        return self._finish(CANCELLED, error={
+            "code": protocol.CANCELLED,
+            "message": "request cancelled by client",
+            "retryable": False,
+        })
+
+    def _finish(self, state: str, *, result=None,
+                error: Optional[dict] = None) -> bool:
+        with self._cond:
+            if self.state in TERMINAL_STATES:
+                return False
+            self.state = state
+            self.result = result
+            self.error = error
+            self._bump()
+            return True
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the request reached a terminal state."""
+        return self.state in TERMINAL_STATES
+
+    def abort_requested(self) -> bool:
+        """Whether a still-executing runner should stop between folds."""
+        return self.terminal
+
+    # -- progress / events -------------------------------------------------
+
+    def on_fold(self, label: str, index: int,
+                values: Mapping[str, float]) -> None:
+        """One folded trial of ``label`` (called by the streaming journal)."""
+        del index  # folds arrive in trial order; the count is the index
+        with self._cond:
+            self._points.setdefault(label, _PointProgress()).fold(values)
+            self._bump()
+
+    def add_event(self, event: ExecEvent) -> None:
+        """Record one supervision event (bounded; overflow is counted)."""
+        with self._cond:
+            if len(self.events) < MAX_EVENTS:
+                self.events.append(event)
+            else:
+                self._events_dropped += 1
+            self._bump()
+
+    def event_summary(self) -> Dict[str, int]:
+        """Event counts by kind (including any dropped past the cap)."""
+        with self._cond:
+            counts: Dict[str, int] = {}
+            for event in self.events:
+                counts[event.kind] = counts.get(event.kind, 0) + 1
+            if self._events_dropped:
+                counts["dropped"] = self._events_dropped
+            return counts
+
+    def progress(self) -> Dict[str, dict]:
+        """Per-point incremental CI snapshot (label -> trials/estimates)."""
+        with self._cond:
+            return {label: p.snapshot() for label, p in self._points.items()}
+
+    def snapshot(self) -> dict:
+        """The ``status`` view of this request."""
+        with self._cond:
+            out = {
+                "id": self.id,
+                "experiment": self.experiment,
+                "state": self.state,
+                "version": self.version,
+                "recovered": self.recovered,
+                "points": {label: p.snapshot()
+                           for label, p in self._points.items()},
+                "events": self.event_summary_locked(),
+            }
+            if self.error is not None:
+                out["error"] = self.error
+            return out
+
+    def event_summary_locked(self) -> Dict[str, int]:
+        """:meth:`event_summary` for callers already holding the lock."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        if self._events_dropped:
+            counts["dropped"] = self._events_dropped
+        return counts
+
+    # -- waiting -----------------------------------------------------------
+
+    def _bump(self) -> None:
+        self.version += 1
+        self._cond.notify_all()
+
+    def wait_change(self, seen_version: int,
+                    timeout: Optional[float] = None) -> int:
+        """Block until ``version`` moves past ``seen_version`` (or timeout);
+        returns the current version either way."""
+        with self._cond:
+            if self.version == seen_version and not self.terminal:
+                self._cond.wait(timeout)
+            return self.version
+
+    def wait_terminal(self, timeout: Optional[float] = None) -> bool:
+        """Block until terminal; ``False`` on timeout."""
+        deadline = (None if timeout is None
+                    else threading.TIMEOUT_MAX if timeout < 0
+                    else timeout)
+        with self._cond:
+            self._cond.wait_for(lambda: self.terminal, deadline)
+            return self.terminal
+
+
+class StreamingJournal:
+    """A :class:`RunJournal` proxy that narrates folds as they happen.
+
+    Experiment runners take the journal they always took; this wrapper
+    additionally calls ``on_fold(label, index, values)`` after every
+    durable append (and for every replayed record, so a resumed request's
+    progress snapshot starts from its journaled prefix, not from zero)
+    and raises :class:`RequestAborted` between folds once ``should_abort``
+    reports the request already finished — the seam that stops a runner
+    whose deadline fired without a cooperative hook inside the trial loop.
+    """
+
+    def __init__(self, inner: RunJournal,
+                 on_fold: Callable[[str, int, Mapping[str, float]], None],
+                 should_abort: Optional[Callable[[], bool]] = None) -> None:
+        self.inner = inner
+        self._on_fold = on_fold
+        self._should_abort = should_abort or (lambda: False)
+
+    def point(self, label: str) -> "_StreamingPoint":
+        """The per-point view the runners hand to ``paired_trials``."""
+        return _StreamingPoint(self, self.inner.point(label))
+
+    def close(self) -> None:
+        """Close the wrapped journal."""
+        self.inner.close()
+
+
+class _StreamingPoint:
+    """One point's :class:`PointJournal` with fold narration attached."""
+
+    def __init__(self, stream: StreamingJournal,
+                 inner: PointJournal) -> None:
+        self._stream = stream
+        self._inner = inner
+        self.label = inner.label
+
+    def replay_prefix(self) -> List[Mapping[str, float]]:
+        values = self._inner.replay_prefix()
+        for index, vals in enumerate(values):
+            self._stream._on_fold(self.label, index, vals)
+        return values
+
+    def record(self, index: int, values: Mapping[str, float]) -> None:
+        if self._stream._should_abort():
+            raise RequestAborted(self.label)
+        self._inner.record(index, values)
+        self._stream._on_fold(self.label, index, values)

@@ -1,0 +1,213 @@
+"""The serve wire protocol: JSON lines, validated before anything runs.
+
+One request per line, one or more JSON responses per request.  Every
+client-visible failure is a structured ``{"type": "error", "code": ...}``
+response — a malformed payload, an unknown experiment or an out-of-range
+parameter never surfaces as a traceback, and every error carries a
+``retryable`` flag so clients know whether backing off and resubmitting
+can help (``overloaded``, ``draining``, ``deadline``) or cannot
+(``bad-request``, ``unknown-experiment``, ``bad-param``).
+
+Requests are capped at :data:`MAX_REQUEST_BYTES`: an oversized line is
+rejected (and the connection dropped — the remainder of the line cannot
+be parsed as anything) before any of it is buffered into the daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Mapping, Optional, Union
+
+from repro.errors import ReproError
+
+#: Hard cap on one request line (1 MiB) — nothing the daemon accepts
+#: needs more, and unbounded lines are an allocation attack.
+MAX_REQUEST_BYTES = 1 << 20
+
+PROTOCOL_VERSION = 1
+
+# -- error codes ------------------------------------------------------------
+
+BAD_REQUEST = "bad-request"
+UNKNOWN_EXPERIMENT = "unknown-experiment"
+BAD_PARAM = "bad-param"
+OVERLOADED = "overloaded"
+DRAINING = "draining"
+DEADLINE = "deadline"
+CANCELLED = "cancelled"
+EXECUTION = "execution"
+INTERNAL = "internal"
+JOURNAL_UNAVAILABLE = "journal-unavailable"
+NOT_FOUND = "not-found"
+TIMEOUT = "timeout"
+
+#: Codes a client may reasonably retry (after backoff); the rest are
+#: deterministic rejections that will fail identically on resubmission.
+RETRYABLE_CODES = frozenset({
+    OVERLOADED, DRAINING, DEADLINE, EXECUTION, JOURNAL_UNAVAILABLE, TIMEOUT,
+})
+
+#: Operations a request line may carry.
+OPS = ("submit", "status", "result", "cancel", "health")
+
+_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class ServeError(ReproError):
+    """A structured, client-visible service failure.
+
+    Attributes:
+        code: One of the error-code constants above.
+        retryable: Whether resubmitting (after backoff) can succeed.
+            Defaults from :data:`RETRYABLE_CODES` when not given.
+    """
+
+    def __init__(self, code: str, message: str, *,
+                 retryable: Optional[bool] = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retryable = (code in RETRYABLE_CODES if retryable is None
+                          else bool(retryable))
+
+    def to_response(self, request_id: Optional[str] = None) -> dict:
+        """The wire representation of this error."""
+        return error_response(self.code, str(self), request_id=request_id,
+                              retryable=self.retryable)
+
+
+def _require_str(obj: Mapping, key: str) -> str:
+    value = obj.get(key)
+    if not isinstance(value, str) or not value:
+        raise ServeError(BAD_REQUEST,
+                         f"request field {key!r} must be a non-empty string")
+    return value
+
+
+def _validate_id(value: str) -> str:
+    if not _ID_PATTERN.match(value):
+        raise ServeError(
+            BAD_REQUEST,
+            f"request id {value[:80]!r} must match [A-Za-z0-9._-]{{1,64}} "
+            f"and start with an alphanumeric",
+        )
+    return value
+
+
+def parse_request(line: Union[str, bytes]) -> dict:
+    """Validate one request line into a normalised request dict.
+
+    Raises:
+        ServeError: ``bad-request`` for anything that is not a JSON object
+            with a known ``op`` and well-typed fields.  Never raises a
+            bare ``json.JSONDecodeError`` — the daemon's contract is that
+            malformed input yields a structured error, not a traceback.
+    """
+    if isinstance(line, bytes):
+        if len(line) > MAX_REQUEST_BYTES:
+            raise ServeError(
+                BAD_REQUEST,
+                f"request exceeds {MAX_REQUEST_BYTES} bytes",
+            )
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ServeError(BAD_REQUEST,
+                             f"request is not UTF-8: {exc}") from None
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServeError(BAD_REQUEST,
+                         f"request is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ServeError(BAD_REQUEST, "request must be a JSON object")
+
+    op = obj.get("op", "submit" if "experiment" in obj else None)
+    if op not in OPS:
+        raise ServeError(
+            BAD_REQUEST,
+            f"unknown op {op!r}; expected one of {list(OPS)} "
+            f"(a submit may omit 'op' when 'experiment' is present)",
+        )
+    out: dict = {"op": op}
+
+    if "id" in obj:
+        out["id"] = _validate_id(_require_str(obj, "id"))
+    elif op in ("status", "result", "cancel"):
+        raise ServeError(BAD_REQUEST, f"op {op!r} requires an 'id'")
+
+    if op == "submit":
+        out["experiment"] = _require_str(obj, "experiment")
+        params = obj.get("params", {})
+        if not isinstance(params, dict):
+            raise ServeError(BAD_PARAM, "'params' must be a JSON object")
+        out["params"] = params
+        for key in ("deadline",):
+            if obj.get(key) is not None:
+                value = obj[key]
+                if not isinstance(value, (int, float)) or \
+                        isinstance(value, bool) or \
+                        not math.isfinite(value) or value <= 0:
+                    raise ServeError(
+                        BAD_REQUEST,
+                        f"{key!r} must be a positive finite number",
+                    )
+                out[key] = float(value)
+        for key in ("urgent", "stream"):
+            if key in obj:
+                if not isinstance(obj[key], bool):
+                    raise ServeError(BAD_REQUEST,
+                                     f"{key!r} must be a boolean")
+                out[key] = obj[key]
+    elif op == "result" and obj.get("timeout") is not None:
+        value = obj["timeout"]
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or not math.isfinite(value) or value < 0:
+            raise ServeError(BAD_REQUEST,
+                             "'timeout' must be a non-negative number")
+        out["timeout"] = float(value)
+    return out
+
+
+# -- response builders ------------------------------------------------------
+
+def encode(message: Mapping) -> bytes:
+    """One response as a JSON line (the only framing the protocol has)."""
+    return (json.dumps(message, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def error_response(code: str, message: str, *,
+                   request_id: Optional[str] = None,
+                   retryable: Optional[bool] = None) -> dict:
+    """A structured error; the only failure shape clients ever see."""
+    out = {
+        "type": "error",
+        "code": code,
+        "message": message,
+        "retryable": (code in RETRYABLE_CODES if retryable is None
+                      else bool(retryable)),
+    }
+    if request_id is not None:
+        out["id"] = request_id
+    return out
+
+
+def accepted_response(request_id: str) -> dict:
+    """Admission acknowledgement: the request is journaled and queued."""
+    return {"type": "accepted", "id": request_id,
+            "protocol": PROTOCOL_VERSION}
+
+
+def update_response(request_id: str, *, state: str, version: int,
+                    points: Mapping) -> dict:
+    """One coalesced incremental-progress frame of a streamed request."""
+    return {"type": "update", "id": request_id, "state": state,
+            "version": version, "points": dict(points)}
+
+
+def result_response(request_id: str, *, result, events: Mapping) -> dict:
+    """The terminal success frame."""
+    return {"type": "result", "id": request_id, "result": result,
+            "events": dict(events)}

@@ -1,0 +1,102 @@
+"""Restart recovery: find the requests a killed daemon still owes.
+
+The acceptance contract (manifest written atomically *before* the client
+hears ``accepted``, terminal file written atomically at completion) makes
+recovery a pure directory scan: a request directory whose manifest parses
+but which has neither ``result.json`` nor ``error.json`` is accepted,
+unfinished work.  The scan re-queues those — in their original admission
+order (the manifest ``seq``) — and each re-run resumes from its journal's
+contiguous prefix, so the replayed request completes **bit-identically**
+to the run the crash interrupted.
+
+Half-written debris is treated conservatively: a directory with a torn or
+unreadable manifest was never acknowledged (the atomic write means the
+client cannot have seen ``accepted``), so it is skipped rather than
+guessed at; a torn *journal header* is handled downstream by the service,
+which restarts that request's run from nothing — still bit-identical,
+because the journal prefix was empty.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional
+
+from repro.serve.lifecycle import (
+    ERROR_FILE,
+    MANIFEST_FILE,
+    MANIFEST_FORMAT,
+    MANIFEST_VERSION,
+    RESULT_FILE,
+)
+
+
+def load_manifest(path: Path) -> Optional[dict]:
+    """Parse one ``request.json``; ``None`` for anything not a manifest.
+
+    Unreadable, torn, or foreign files yield ``None`` — recovery must
+    never crash the daemon on debris it cannot interpret.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(data, dict) or \
+            data.get("format") != MANIFEST_FORMAT or \
+            data.get("version") != MANIFEST_VERSION:
+        return None
+    if not isinstance(data.get("id"), str) or \
+            not isinstance(data.get("experiment"), str) or \
+            not isinstance(data.get("params"), dict):
+        return None
+    return data
+
+
+def scan_incomplete(requests_dir: Path) -> List[dict]:
+    """Manifests of accepted-but-unfinished requests, in admission order.
+
+    Args:
+        requests_dir: The ``<root>/requests`` directory.
+
+    Returns:
+        Parsed manifests sorted by their admission ``seq`` (ties broken
+        by id for determinism); empty when the directory does not exist.
+    """
+    requests_dir = Path(requests_dir)
+    if not requests_dir.is_dir():
+        return []
+    pending: List[dict] = []
+    for entry in sorted(requests_dir.iterdir()):
+        if not entry.is_dir():
+            continue
+        if (entry / RESULT_FILE).exists() or (entry / ERROR_FILE).exists():
+            continue  # finished before the crash
+        manifest = load_manifest(entry / MANIFEST_FILE)
+        if manifest is None:
+            continue  # never acknowledged; not owed
+        if manifest["id"] != entry.name:
+            continue  # moved/renamed debris — identity no longer trustworthy
+        pending.append(manifest)
+    pending.sort(key=lambda m: (m.get("seq", 0), m["id"]))
+    return pending
+
+
+def max_seq(requests_dir: Path) -> int:
+    """The largest admission ``seq`` on disk (0 for an empty root).
+
+    The service resumes its admission counter past this so recovered and
+    new requests never collide on ordering.
+    """
+    requests_dir = Path(requests_dir)
+    if not requests_dir.is_dir():
+        return 0
+    best = 0
+    for entry in requests_dir.iterdir():
+        if not entry.is_dir():
+            continue
+        manifest = load_manifest(entry / MANIFEST_FILE)
+        if manifest is not None and isinstance(manifest.get("seq"), int):
+            best = max(best, manifest["seq"])
+    return best

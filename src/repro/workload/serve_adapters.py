@@ -1,0 +1,391 @@
+"""Experiment adapters: the serve daemon's validated request surface.
+
+Each adapter names one experiment family (the figure sweeps, the fault
+sweep, the contention sweep), validates and **normalises** its parameters
+up front — out-of-range values become structured ``bad-param`` errors at
+admission, never tracebacks mid-run — and executes the existing workload
+runner against the request's execution context (supervised backend +
+per-request journal).  The normalised parameters double as the journal's
+run key: two requests with the same normalised parameters are the same
+run, and a recovered request replays against exactly the key it was
+accepted under.
+
+Determinism contract: every adapter runs a **fixed** trial count
+(``min_samples == max_samples``) seeded from the request parameters, so a
+request's result is a pure function of its normalised parameters — the
+property the chaos harness checks when it compares a crash-recovered
+daemon's answer against the serial one-shot oracle bit for bit.
+
+The ``chaos`` adapter (fault-injecting trials from ``tests/chaos_exec``)
+only resolves when ``REPRO_SERVE_CHAOS=1`` is exported: it exists for the
+service-level chaos harness and must not be reachable in a production
+daemon.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.exec.backends import BackendLike
+from repro.serve.protocol import BAD_PARAM, UNKNOWN_EXPERIMENT, ServeError
+
+#: Environment switch that exposes the fault-injecting ``chaos`` adapter.
+CHAOS_ENV = "REPRO_SERVE_CHAOS"
+
+
+@dataclass
+class RunContext:
+    """What the service hands an adapter: execution + durability.
+
+    Attributes:
+        backend: The request-scoped (usually supervised) backend.
+        parallel: Worker count for ``paired_trials``.
+        journal: A :class:`~repro.serve.lifecycle.StreamingJournal` (or
+            plain :class:`~repro.exec.journal.RunJournal`, or ``None``)
+            the runner journals folded trials through.
+    """
+
+    backend: BackendLike = None
+    parallel: int = 1
+    journal: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class ExperimentAdapter:
+    """One experiment family: a validator plus a runner.
+
+    Attributes:
+        name: The wire name clients submit.
+        validate: ``raw params -> normalised params`` (raises
+            :class:`~repro.serve.protocol.ServeError` ``bad-param``).
+        run: ``(normalised params, RunContext) -> JSON-ready result``.
+    """
+
+    name: str
+    validate: Callable[[Mapping], dict]
+    run: Callable[[dict, RunContext], dict]
+
+
+_ADAPTERS: Dict[str, ExperimentAdapter] = {}
+
+
+def register(adapter: ExperimentAdapter) -> ExperimentAdapter:
+    """Install ``adapter`` into the registry (module-import time)."""
+    _ADAPTERS[adapter.name] = adapter
+    return adapter
+
+
+def available_experiments() -> List[str]:
+    """Wire names a submit may use right now (chaos only when enabled)."""
+    names = sorted(_ADAPTERS)
+    if os.environ.get(CHAOS_ENV) != "1":
+        names = [n for n in names if n != "chaos"]
+    return names
+
+
+def get_adapter(name: str) -> ExperimentAdapter:
+    """Resolve ``name`` or raise a structured ``unknown-experiment``."""
+    if name == "chaos" and os.environ.get(CHAOS_ENV) != "1":
+        raise ServeError(
+            UNKNOWN_EXPERIMENT,
+            f"unknown experiment 'chaos'; expected one of "
+            f"{available_experiments()}",
+        )
+    adapter = _ADAPTERS.get(name)
+    if adapter is None:
+        raise ServeError(
+            UNKNOWN_EXPERIMENT,
+            f"unknown experiment {name!r}; expected one of "
+            f"{available_experiments()}",
+        )
+    return adapter
+
+
+# -- validation helpers -----------------------------------------------------
+
+def _bad(key: str, message: str) -> ServeError:
+    return ServeError(BAD_PARAM, f"param {key!r} {message}")
+
+
+def _reject_unknown(params: Mapping, allowed: frozenset) -> None:
+    unknown = sorted(set(params) - allowed)
+    if unknown:
+        raise ServeError(
+            BAD_PARAM,
+            f"unknown param(s) {unknown}; expected a subset of "
+            f"{sorted(allowed)}",
+        )
+
+
+def _int_param(params: Mapping, key: str, default: int,
+               lo: int, hi: int) -> int:
+    value = params.get(key, default)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise _bad(key, f"must be an integer, got {value!r}")
+    if not (lo <= value <= hi):
+        raise _bad(key, f"must be in [{lo}, {hi}], got {value}")
+    return value
+
+
+def _num_param(params: Mapping, key: str, default: float,
+               lo: float, hi: float) -> float:
+    value = params.get(key, default)
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+            or not math.isfinite(value):
+        raise _bad(key, f"must be a finite number, got {value!r}")
+    if not (lo <= value <= hi):
+        raise _bad(key, f"must be in [{lo:g}, {hi:g}], got {value:g}")
+    return float(value)
+
+
+def _choice_param(params: Mapping, key: str, default: str,
+                  choices: Sequence[str]) -> str:
+    value = params.get(key, default)
+    if value not in choices:
+        raise _bad(key, f"must be one of {list(choices)}, got {value!r}")
+    return value
+
+
+def _num_list_param(params: Mapping, key: str, default: Sequence[float],
+                    lo: float, hi: float, max_len: int,
+                    *, integral: bool = False) -> List:
+    value = params.get(key, list(default))
+    if not isinstance(value, (list, tuple)) or not value:
+        raise _bad(key, f"must be a non-empty list, got {value!r}")
+    if len(value) > max_len:
+        raise _bad(key, f"may hold at most {max_len} entries, "
+                        f"got {len(value)}")
+    out = []
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, (int, float)) \
+                or not math.isfinite(item):
+            raise _bad(key, f"entries must be finite numbers, got {item!r}")
+        if integral and not isinstance(item, int):
+            raise _bad(key, f"entries must be integers, got {item!r}")
+        if not (lo <= item <= hi):
+            raise _bad(key, f"entries must be in [{lo:g}, {hi:g}], "
+                            f"got {item!r}")
+        out.append(int(item) if integral else float(item))
+    # JSON-native list: normalised params round-trip through the request
+    # manifest unchanged, so run-key equality survives a daemon restart.
+    return sorted(set(out))
+
+
+def _seed_param(params: Mapping, key: str = "seed",
+                default: int = 20030422) -> int:
+    value = params.get(key, default)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise _bad(key, f"must be an integer, got {value!r}")
+    if not (0 <= value < 2 ** 63):
+        raise _bad(key, "must be a non-negative 63-bit integer")
+    return value
+
+
+# -- figure sweeps ----------------------------------------------------------
+
+_FIGURE_KEYS = frozenset({"ns", "degrees", "trials", "seed"})
+
+
+def _validate_figure(params: Mapping) -> dict:
+    _reject_unknown(params, _FIGURE_KEYS)
+    return {
+        # ns/degrees are normalised sorted+deduped: SeriesTable x values
+        # must be strictly increasing, and the sorted form makes the
+        # journal run key canonical.
+        "ns": list(_num_list_param(params, "ns", (20, 40, 60, 80, 100),
+                                   2, 400, 8, integral=True)),
+        "degrees": list(_num_list_param(params, "degrees", (6.0, 18.0),
+                                        1.0, 50.0, 4)),
+        "trials": _int_param(params, "trials", 12, 2, 500),
+        "seed": _seed_param(params),
+    }
+
+
+def _figure_runner(runner_name: str) -> Callable[[dict, RunContext], dict]:
+    def run(params: dict, ctx: RunContext) -> dict:
+        from repro.workload import experiments
+        from repro.workload.config import PaperEnvironment
+
+        runner = getattr(experiments, runner_name)
+        env = PaperEnvironment(
+            ns=tuple(params["ns"]),
+            degrees=tuple(params["degrees"]),
+            min_samples=params["trials"],
+            max_samples=params["trials"],
+            target=0.5,  # fixed-count: the stopping rule is bypassed
+            seed=params["seed"],
+        )
+        tables = runner(env, backend=ctx.backend, parallel=ctx.parallel,
+                        journal=ctx.journal)
+        return {
+            "tables": {f"{d:g}": table.to_records()
+                       for d, table in sorted(tables.items())},
+        }
+
+    return run
+
+
+for _name, _runner in (("fig6", "run_fig6"), ("fig7", "run_fig7"),
+                       ("fig8", "run_fig8"),
+                       ("flooding", "run_flooding_comparison")):
+    register(ExperimentAdapter(name=_name, validate=_validate_figure,
+                               run=_figure_runner(_runner)))
+
+
+# -- fault sweep ------------------------------------------------------------
+
+_FAULTS_KEYS = frozenset({
+    "losses", "n", "degree", "trials", "crash_fraction", "horizon",
+    "max_retries", "seed",
+})
+
+
+def _validate_faults(params: Mapping) -> dict:
+    _reject_unknown(params, _FAULTS_KEYS)
+    return {
+        "losses": list(_num_list_param(params, "losses", (0.0, 0.2),
+                                       0.0, 0.95, 8)),
+        "n": _int_param(params, "n", 30, 2, 400),
+        "degree": _num_param(params, "degree", 6.0, 1.0, 50.0),
+        "trials": _int_param(params, "trials", 8, 2, 500),
+        "crash_fraction": _num_param(params, "crash_fraction", 0.1,
+                                     0.0, 0.9),
+        "horizon": _num_param(params, "horizon", 10.0, 0.1, 1000.0),
+        "max_retries": _int_param(params, "max_retries", 5, 0, 20),
+        "seed": _seed_param(params),
+    }
+
+
+def _run_faults(params: dict, ctx: RunContext) -> dict:
+    from repro.workload.faultsweep import run_fault_sweep
+
+    points = run_fault_sweep(
+        losses=tuple(params["losses"]), n=params["n"],
+        average_degree=params["degree"], trials=params["trials"],
+        crash_fraction=params["crash_fraction"], horizon=params["horizon"],
+        max_retries=params["max_retries"], rng=params["seed"],
+        backend=ctx.backend, parallel=ctx.parallel, journal=ctx.journal,
+    )
+    return {"points": [
+        {"loss": p.loss_probability, "delivery": p.delivery,
+         "overhead": p.overhead, "latency": p.latency, "trials": p.trials}
+        for p in points
+    ]}
+
+
+register(ExperimentAdapter(name="faults", validate=_validate_faults,
+                           run=_run_faults))
+
+
+# -- contention sweep -------------------------------------------------------
+
+_CHANNEL_KEYS = frozenset({
+    "losses", "n", "degree", "trials", "mac", "crash_fraction", "seed",
+})
+
+
+def _validate_channel(params: Mapping) -> dict:
+    _reject_unknown(params, _CHANNEL_KEYS)
+    return {
+        "losses": list(_num_list_param(params, "losses", (0.0,),
+                                       0.0, 0.95, 8)),
+        "n": _int_param(params, "n", 40, 2, 400),
+        "degree": _num_param(params, "degree", 8.0, 1.0, 50.0),
+        "trials": _int_param(params, "trials", 8, 2, 500),
+        "mac": _choice_param(params, "mac", "csma",
+                             ("instant", "csma", "tdma")),
+        "crash_fraction": _num_param(params, "crash_fraction", 0.0,
+                                     0.0, 0.9),
+        "seed": _seed_param(params),
+    }
+
+
+def _run_channel(params: dict, ctx: RunContext) -> dict:
+    from repro.workload.contention import run_contention_sweep
+
+    points = run_contention_sweep(
+        losses=tuple(params["losses"]), n=params["n"],
+        average_degree=params["degree"], trials=params["trials"],
+        mac=params["mac"], crash_fraction=params["crash_fraction"],
+        rng=params["seed"], backend=ctx.backend, parallel=ctx.parallel,
+        journal=ctx.journal,
+    )
+    return {"points": [
+        {"loss": p.loss_probability, "delivery": p.delivery,
+         "overhead": p.overhead, "latency": p.latency,
+         "collisions": p.collisions, "captures": p.captures,
+         "trials": p.trials}
+        for p in points
+    ]}
+
+
+register(ExperimentAdapter(name="channel", validate=_validate_channel,
+                           run=_run_channel))
+
+
+# -- chaos (test-only; gated behind REPRO_SERVE_CHAOS=1) --------------------
+
+_CHAOS_KEYS = frozenset({
+    "marker_dir", "trials", "seed", "crash_indices", "sleep_indices",
+    "sleep_seconds", "raise_indices", "trial_sleep",
+})
+
+
+def _validate_chaos(params: Mapping) -> dict:
+    _reject_unknown(params, _CHAOS_KEYS)
+    marker_dir = params.get("marker_dir")
+    if not isinstance(marker_dir, str) or not marker_dir:
+        raise _bad("marker_dir", "is required (a writable directory)")
+    out = {
+        "marker_dir": marker_dir,
+        "trials": _int_param(params, "trials", 8, 2, 128),
+        "seed": _seed_param(params, default=11),
+        "sleep_seconds": _num_param(params, "sleep_seconds", 30.0,
+                                    0.0, 600.0),
+        "trial_sleep": _num_param(params, "trial_sleep", 0.0, 0.0, 5.0),
+    }
+    for key in ("crash_indices", "sleep_indices", "raise_indices"):
+        value = params.get(key, [])
+        if value:
+            out[key] = list(_num_list_param(params, key, (), 0, 10_000,
+                                            32, integral=True))
+        else:
+            out[key] = []
+    return out
+
+
+def _run_chaos(params: dict, ctx: RunContext) -> dict:
+    from repro.exec.spec import TrialSpec
+    from repro.workload.trials import paired_trials
+
+    spec = TrialSpec.create(
+        "chaos_exec:make_chaos_trial",
+        marker_dir=params["marker_dir"],
+        crash_indices=tuple(params["crash_indices"]),
+        sleep_indices=tuple(params["sleep_indices"]),
+        sleep_seconds=params["sleep_seconds"],
+        raise_indices=tuple(params["raise_indices"]),
+        trial_sleep=params["trial_sleep"],
+    )
+    point = (ctx.journal.point("chaos") if ctx.journal is not None
+             else None)
+    outcome = paired_trials(
+        spec=spec, min_samples=params["trials"],
+        max_samples=params["trials"], rng=params["seed"],
+        backend=ctx.backend, parallel=ctx.parallel, journal=point,
+    )
+    return {
+        "trials": outcome.trials,
+        "estimates": {
+            label: {"mean": ci.mean, "half_width": ci.half_width,
+                    "samples": ci.samples}
+            for label, ci in outcome.estimates.items()
+        },
+    }
+
+
+register(ExperimentAdapter(name="chaos", validate=_validate_chaos,
+                           run=_run_chaos))

@@ -1,0 +1,98 @@
+"""Chaos-harness helpers: the serve daemon as a disposable subprocess.
+
+``tests/test_chaos_serve.py`` kills real daemons with ``SIGKILL`` and
+checks nothing accepted is lost; this module owns the boring parts —
+spawning ``python -m repro.cli serve`` with the right environment
+(``src`` and ``tests`` on ``PYTHONPATH`` so the fault-injecting ``chaos``
+experiment can resolve ``chaos_exec:make_chaos_trial``, and
+``REPRO_SERVE_CHAOS=1`` to unlock it), waiting for the socket to accept,
+and tearing daemons down without leaking processes.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+TESTS = Path(__file__).resolve().parent
+
+
+def daemon_env() -> dict:
+    """Subprocess environment: repro + chaos trials importable, chaos on."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC), str(TESTS)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    env["REPRO_SERVE_CHAOS"] = "1"
+    return env
+
+
+def start_daemon(root, sock, *, backend: str = "serial", parallel: int = 1,
+                 extra: tuple = ()) -> subprocess.Popen:
+    """Launch one serve daemon (callers pair this with ``wait_ready``)."""
+    cmd = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--socket", str(sock), "--root", str(root),
+        "--backend", backend, "--parallel", str(parallel), *extra,
+    ]
+    return subprocess.Popen(cmd, env=daemon_env(),
+                            stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+
+def wait_ready(sock, proc: subprocess.Popen, timeout: float = 30.0) -> None:
+    """Block until the daemon's socket accepts (or it died trying)."""
+    sock = Path(sock)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out, err = proc.communicate()
+            raise AssertionError(
+                f"daemon exited {proc.returncode} before becoming ready\n"
+                f"stdout: {out.decode(errors='replace')}\n"
+                f"stderr: {err.decode(errors='replace')}"
+            )
+        if sock.exists():
+            try:
+                probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                probe.connect(str(sock))
+                probe.close()
+                return
+            except OSError:
+                pass
+        time.sleep(0.05)
+    raise AssertionError(f"daemon socket {sock} never became ready")
+
+
+def sigkill(proc: subprocess.Popen) -> None:
+    """The chaos hammer: no atexit, no drain, no flushing grace."""
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait(timeout=30)
+
+
+def terminate(proc: subprocess.Popen, timeout: float = 30.0) -> int:
+    """Graceful SIGTERM teardown (for scenarios that end politely)."""
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10)
+    return proc.returncode
+
+
+def reap(proc: subprocess.Popen) -> None:
+    """Last-resort cleanup so a failing test never leaks a daemon."""
+    if proc.poll() is None:
+        proc.kill()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            pass

@@ -1,0 +1,209 @@
+"""Service-level chaos: SIGKILL daemons and workers, compare to the oracle.
+
+The guarantee under test, end to end against real subprocess daemons: no
+accepted request is ever silently lost, and no recovered answer differs
+from the serial one-shot oracle — a crash either leaves the request owed
+(finished bit-identically after restart) or failed with a structured,
+retryable error.  Subprocess startup makes these slow, so the module is
+``slow``-marked and runs in the ``make serve-chaos`` / CI lane.
+"""
+
+import json
+import socket
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from chaos_serve import reap, sigkill, start_daemon, terminate, wait_ready
+from repro.serve.client import ServeClient
+from repro.serve.protocol import MAX_REQUEST_BYTES
+from repro.workload.serve_adapters import RunContext, get_adapter
+
+pytestmark = pytest.mark.slow
+
+
+def canonical(result):
+    return json.dumps(result, sort_keys=True)
+
+
+def chaos_oracle(params, monkeypatch):
+    """The serial no-injection answer (values never depend on injections:
+    every chaos trial draws its metric before any fault fires)."""
+    monkeypatch.setenv("REPRO_SERVE_CHAOS", "1")
+    clean = {k: v for k, v in params.items()
+             if k not in ("crash_indices", "sleep_indices", "raise_indices")}
+    adapter = get_adapter("chaos")
+    result = adapter.run(adapter.validate(clean),
+                         RunContext(backend="serial", parallel=1))
+    return json.loads(canonical(result))
+
+
+@pytest.fixture
+def arena(tmp_path):
+    markers = tmp_path / "markers"
+    markers.mkdir()
+    return {
+        "root": tmp_path / "state",
+        "sock": tmp_path / "serve.sock",
+        "markers": markers,
+    }
+
+
+def test_daemon_sigkill_mid_stream_then_restart_is_bit_identical(
+        arena, monkeypatch):
+    """Kill the daemon while a streamed request is folding trials; the
+    restarted daemon recovers it from the journal prefix and finishes with
+    exactly the oracle's numbers."""
+    params = {"marker_dir": str(arena["markers"]), "trials": 6, "seed": 11,
+              "trial_sleep": 0.4}
+    proc = start_daemon(arena["root"], arena["sock"])
+    try:
+        wait_ready(arena["sock"], proc)
+        client = ServeClient(arena["sock"])
+        frames = []
+        killed = threading.Event()
+        for frame in client.stream("chaos", params, request_id="mid-1"):
+            frames.append(frame)
+            if frame.get("type") == "update" and frame["points"] and \
+                    not killed.is_set():
+                progressed = any(p["trials"] >= 1
+                                 for p in frame["points"].values())
+                if progressed:
+                    sigkill(proc)  # mid-stream, trials still outstanding
+                    killed.set()
+        assert killed.is_set(), f"run finished before the kill: {frames}"
+        # the stream ended at EOF without a terminal frame — the daemon
+        # died owing us the answer
+        assert frames[-1]["type"] != "result"
+
+        proc = start_daemon(arena["root"], arena["sock"])
+        wait_ready(arena["sock"], proc)
+        final = ServeClient(arena["sock"]).result("mid-1", wait=120,
+                                                  timeout=150)
+        assert final["type"] == "result", final
+        assert final["result"] == chaos_oracle(params, monkeypatch)
+        status = ServeClient(arena["sock"]).status("mid-1")
+        assert status["recovered"] is True
+        assert terminate(proc) == 0
+    finally:
+        reap(proc)
+
+
+def test_worker_sigkill_mid_request_retries_to_the_oracle(
+        arena, monkeypatch):
+    """A pool worker dies mid-chunk; supervision rebuilds the pool and the
+    request still answers with the oracle's numbers, with the crash
+    visible in the request's event summary."""
+    params = {"marker_dir": str(arena["markers"]), "trials": 6, "seed": 7,
+              "crash_indices": [1]}
+    proc = start_daemon(arena["root"], arena["sock"], backend="process",
+                        parallel=2)
+    try:
+        wait_ready(arena["sock"], proc)
+        client = ServeClient(arena["sock"])
+        acc = client.submit("chaos", params, request_id="wk-1")
+        assert acc["type"] == "accepted", acc
+        final = client.result("wk-1", wait=180, timeout=200)
+        assert final["type"] == "result", final
+        assert final["result"] == chaos_oracle(params, monkeypatch)
+        assert final["events"].get("chunk-failure", 0) >= 1
+        assert final["events"].get("retry", 0) >= 1
+        assert terminate(proc) == 0
+    finally:
+        reap(proc)
+
+
+def test_wedged_request_fails_its_deadline_and_daemon_stays_up(
+        arena, monkeypatch):
+    """A trial sleeps far past the request deadline: the client gets a
+    structured retryable ``deadline`` error, and the daemon keeps serving
+    (the wedged pool is abandoned, not waited on)."""
+    wedged = {"marker_dir": str(arena["markers"]), "trials": 3, "seed": 3,
+              "sleep_indices": [0], "sleep_seconds": 120.0}
+    proc = start_daemon(arena["root"], arena["sock"], backend="process",
+                        parallel=1)
+    try:
+        wait_ready(arena["sock"], proc)
+        client = ServeClient(arena["sock"])
+        acc = client.submit("chaos", wedged, request_id="wedge-1",
+                            deadline=2.0)
+        assert acc["type"] == "accepted", acc
+        final = client.result("wedge-1", wait=60, timeout=90)
+        assert final["type"] == "error", final
+        assert final["code"] == "deadline"
+        assert final["retryable"] is True
+
+        # the daemon survived its wedged request and still does real work
+        clean_markers = Path(arena["markers"]).parent / "markers2"
+        clean_markers.mkdir()
+        clean = {"marker_dir": str(clean_markers), "trials": 3, "seed": 3}
+        client.submit("chaos", clean, request_id="after-wedge")
+        after = client.result("after-wedge", wait=120, timeout=150)
+        assert after["type"] == "result", after
+        assert after["result"] == chaos_oracle(clean, monkeypatch)
+        assert terminate(proc) == 0
+    finally:
+        reap(proc)
+
+
+def test_malformed_and_oversized_payloads_never_crash_the_daemon(arena):
+    proc = start_daemon(arena["root"], arena["sock"])
+    try:
+        wait_ready(arena["sock"], proc)
+
+        conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        conn.settimeout(30)
+        conn.connect(str(arena["sock"]))
+        conn.sendall(b"\x00\xffnot even close\n")
+        reader = conn.makefile("rb")
+        err = json.loads(reader.readline())
+        assert err["type"] == "error" and err["code"] == "bad-request"
+        conn.close()
+
+        conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        conn.settimeout(30)
+        conn.connect(str(arena["sock"]))
+        conn.sendall(b'{"pad":"' + b"x" * MAX_REQUEST_BYTES + b'"}\n')
+        reader = conn.makefile("rb")
+        err = json.loads(reader.readline())
+        assert err["code"] == "bad-request"
+        assert reader.readline() == b""  # connection dropped after cap
+        conn.close()
+
+        health = ServeClient(arena["sock"]).health()
+        assert health["healthz"] == "ok" and health["readyz"] is True
+        assert terminate(proc) == 0
+    finally:
+        reap(proc)
+
+
+def test_no_accepted_request_is_lost_across_sigkill(arena, monkeypatch):
+    """Accept a burst, SIGKILL before most of it ran, restart: every
+    accepted request completes, each with the oracle's numbers."""
+    base = {"marker_dir": str(arena["markers"]), "trials": 4,
+            "trial_sleep": 0.3}
+    ids = [f"burst-{i}" for i in range(3)]
+    proc = start_daemon(arena["root"], arena["sock"])
+    try:
+        wait_ready(arena["sock"], proc)
+        client = ServeClient(arena["sock"])
+        for i, request_id in enumerate(ids):
+            acc = client.submit("chaos", dict(base, seed=100 + i),
+                                request_id=request_id)
+            assert acc["type"] == "accepted", acc
+        time.sleep(0.5)  # let the first request fold a trial or two
+        sigkill(proc)
+
+        proc = start_daemon(arena["root"], arena["sock"])
+        wait_ready(arena["sock"], proc)
+        client = ServeClient(arena["sock"])
+        for i, request_id in enumerate(ids):
+            final = client.result(request_id, wait=180, timeout=200)
+            assert final["type"] == "result", (request_id, final)
+            assert final["result"] == chaos_oracle(
+                dict(base, seed=100 + i), monkeypatch)
+        assert terminate(proc) == 0
+    finally:
+        reap(proc)

@@ -252,3 +252,91 @@ class TestBackendLifecycle:
         backend = SerialBackend()
         backend.abandon()
         assert self._wave(backend, n=1)
+
+
+class TestCloseRaces:
+    """Pool teardown is safe under concurrent close/rebuild callers."""
+
+    def _wave(self, backend, n=2):
+        from repro.rng import ensure_rng, spawn_seeds
+
+        job = TrialJob(spec=FIG6_SPEC)
+        seeds = spawn_seeds(ensure_rng(0), n)
+        return backend.run_wave(job, 0, seeds)
+
+    def test_concurrent_double_close_shuts_down_once(self):
+        """N racing closers: each shuts down at most its own detached pool."""
+        import threading
+
+        backend = ThreadBackend(2)
+        self._wave(backend)  # materialise the pool
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def closer():
+            try:
+                barrier.wait()
+                backend.close()
+            except Exception as exc:  # pragma: no cover - failure capture
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert backend._pool is None
+
+    def test_close_racing_rebuild_never_wedges_a_wave(self):
+        """Waves interleaved with closes always complete (pool rebuilds)."""
+        import threading
+
+        backend = ThreadBackend(2)
+        expected = self._wave(backend)
+        stop = threading.Event()
+        errors = []
+
+        def churn_close():
+            while not stop.is_set():
+                backend.close()
+
+        closer = threading.Thread(target=churn_close)
+        closer.start()
+        try:
+            for _ in range(25):
+                # A wave may observe a close after _ensure_pool returned;
+                # shutdown() waits for running work, so the wave still
+                # finishes and matches the reference bit for bit.
+                assert self._wave(backend) == expected
+        except Exception as exc:
+            errors.append(exc)
+        finally:
+            stop.set()
+            closer.join()
+            backend.close()
+        assert not errors
+
+    def test_abandon_racing_close_is_safe(self):
+        import threading
+
+        backend = ThreadBackend(2)
+        self._wave(backend)
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def run(fn):
+            try:
+                barrier.wait()
+                fn()
+            except Exception as exc:  # pragma: no cover - failure capture
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(backend.close,)),
+                   threading.Thread(target=run, args=(backend.abandon,))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert backend._pool is None

@@ -91,6 +91,44 @@ class TestLifecycle:
         journal.close()
 
 
+class TestSingleWriter:
+    def test_concurrent_open_of_same_path_is_refused(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        first = RunJournal.open(path, KEY)
+        try:
+            with pytest.raises(JournalError,
+                               match="one writer|another writer"):
+                RunJournal.open(path, KEY, resume=True)
+        finally:
+            first.close()
+        # Released on close: the next open succeeds.
+        RunJournal.open(path, KEY, resume=True).close()
+
+    def test_lock_covers_path_aliases(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        first = RunJournal.open(path, KEY)
+        try:
+            alias = tmp_path / "." / "run.jsonl"
+            with pytest.raises(JournalError):
+                RunJournal.open(alias, KEY, resume=True)
+        finally:
+            first.close()
+
+    def test_failed_open_does_not_leak_the_lock(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        RunJournal.open(path, KEY).close()
+        with pytest.raises(JournalError):  # key mismatch after load
+            RunJournal.open(path, {"other": 1}, resume=True)
+        # The refused open held nothing: a correct open still works.
+        RunJournal.open(path, KEY, resume=True).close()
+
+    def test_distinct_paths_are_independent(self, tmp_path):
+        a = RunJournal.open(tmp_path / "a.jsonl", KEY)
+        b = RunJournal.open(tmp_path / "b.jsonl", KEY)
+        a.close()
+        b.close()
+
+
 class TestCorruption:
     def _journal_with_records(self, tmp_path, n=3):
         path = tmp_path / "run.jsonl"
@@ -129,6 +167,22 @@ class TestCorruption:
         path.write_text("no header here")
         with pytest.raises(JournalError):
             RunJournal.open(path, KEY, resume=True)
+
+    def test_torn_header_raises_clean_journal_error(self, tmp_path):
+        # A header torn mid-write (no newline ever made it to disk).  The
+        # atomic create makes this impossible for journals we wrote, but
+        # the daemon's restart scan must get a classifiable JournalError —
+        # never a JSON traceback — so it can restart the run from nothing.
+        path = tmp_path / "run.jsonl"
+        good = RunJournal.open(tmp_path / "donor.jsonl", KEY)
+        good.close()
+        header = (tmp_path / "donor.jsonl").read_bytes().rstrip(b"\n")
+        path.write_bytes(header[: len(header) // 2])
+        with pytest.raises(JournalError, match="header"):
+            RunJournal.open(path, KEY, resume=True)
+        # Recovery path: delete the torn file and start over.
+        path.unlink()
+        RunJournal.open(path, KEY).close()
 
     def test_wrong_format_raises(self, tmp_path):
         path = tmp_path / "run.jsonl"

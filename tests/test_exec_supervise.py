@@ -1,12 +1,14 @@
 """Tests for the supervised execution layer (retry, timeout, degrade)."""
 
+import errno
+import os
 from concurrent.futures import BrokenExecutor
 
 import pytest
 
 from chaos_exec import make_chaos_trial
 from repro.errors import ChunkRetryExhaustedError, ConfigurationError
-from repro.exec.backends import ExecutionBackend, TrialJob
+from repro.exec.backends import ExecutionBackend, SerialBackend, TrialJob
 from repro.exec.spec import TrialSpec
 from repro.exec.supervise import (
     DEGRADE_ORDER,
@@ -84,8 +86,119 @@ class TestClassifyFailure:
         assert classify_failure(ValueError("nope")) == "transient"
 
     def test_kinds_are_the_published_constants(self):
-        assert set(FAILURE_KINDS) == {"crash", "timeout", "transient"}
+        assert set(FAILURE_KINDS) == {"crash", "timeout", "transient",
+                                      "fatal"}
         assert DEGRADE_ORDER == ("process", "thread", "serial")
+
+    def test_memory_error_is_crash(self):
+        assert classify_failure(MemoryError()) == "crash"
+
+    def test_broken_pipe_is_crash_not_generic_oserror(self):
+        assert classify_failure(BrokenPipeError(errno.EPIPE, "pipe")) == \
+            "crash"
+
+    @pytest.mark.parametrize("code", [errno.ENOSPC, errno.EROFS,
+                                      errno.EDQUOT])
+    def test_disk_full_errnos_are_fatal(self, code):
+        assert classify_failure(OSError(code, os.strerror(code))) == "fatal"
+
+    @pytest.mark.parametrize("code", [errno.EMFILE, errno.ENFILE,
+                                      errno.EAGAIN, errno.EINTR])
+    def test_resource_blip_errnos_are_transient(self, code):
+        assert classify_failure(OSError(code, os.strerror(code))) == \
+            "transient"
+
+    def test_unclassified_oserror_is_transient(self):
+        assert classify_failure(OSError(errno.EIO, "io")) == "transient"
+
+
+def make_disk_full(**_kwargs):
+    """Spec factory: a trial that hits a full disk every attempt."""
+
+    def trial(index, gen):
+        raise OSError(errno.ENOSPC, "No space left on device")
+
+    return trial
+
+
+class TestFatalFailures:
+    def test_fatal_failure_is_raised_without_retry(self):
+        spec = TrialSpec.create("test_exec_supervise:make_disk_full")
+        events = []
+        sup = SupervisedBackend("serial", retries=5, backoff_base=0.001,
+                                on_event=events.append)
+        with pytest.raises(OSError) as excinfo:
+            paired_trials(spec=spec, min_samples=2, max_samples=2,
+                          rng=0, backend=sup)
+        assert excinfo.value.errno == errno.ENOSPC
+        kinds = [e.kind for e in events]
+        assert "retry" not in kinds  # surfaced immediately, budget intact
+        failures = [e for e in events if e.kind == "chunk-failure"]
+        assert failures and failures[0].failure == "fatal"
+
+
+class TestExecEventSerialisation:
+    def test_round_trip_through_dict(self):
+        event = ExecEvent(kind="chunk-failure", backend="process",
+                          failure="crash", attempt=2, chunk_start=8,
+                          chunk_size=4, detail="BrokenExecutor('x')")
+        assert ExecEvent.from_dict(event.to_dict()) == event
+
+    def test_round_trip_through_json(self):
+        import json
+
+        event = ExecEvent(kind="degrade", backend="thread",
+                          detail="thread -> serial")
+        payload = json.loads(json.dumps(event.to_dict()))
+        assert ExecEvent.from_dict(payload) == event
+
+    def test_from_dict_ignores_unknown_fields(self):
+        data = ExecEvent(kind="retry", backend="serial").to_dict()
+        data["request_id"] = "r-42"  # serve layer may decorate the stream
+        assert ExecEvent.from_dict(data) == \
+            ExecEvent(kind="retry", backend="serial")
+
+
+class TestOwnership:
+    class _Closable(ExecutionBackend):
+        name = "serial"
+        workers = 1
+
+        def __init__(self):
+            self.closed = 0
+            self.abandoned = 0
+
+        def run_wave(self, job, start_index, seeds):
+            return SerialBackend().run_wave(job, start_index, seeds)
+
+        def close(self):
+            self.closed += 1
+
+        def abandon(self):
+            self.abandoned += 1
+
+    def test_owned_inner_is_closed(self):
+        inner = self._Closable()
+        SupervisedBackend(inner).close()
+        assert inner.closed == 1
+
+    def test_unowned_inner_survives_close(self):
+        inner = self._Closable()
+        SupervisedBackend(inner, owns_inner=False).close()
+        assert inner.closed == 0
+
+    def test_degraded_replacement_is_owned_even_when_inner_was_shared(self):
+        shared = _FailingInner("thread")
+        sup = SupervisedBackend(shared, retries=3, degrade_after=1,
+                                backoff_base=0.001, owns_inner=False)
+        paired_trials(
+            spec=TrialSpec.create("chaos_exec:make_chaos_trial",
+                                  marker_dir="/nonexistent-unused"),
+            min_samples=2, max_samples=2, rng=0, backend=sup,
+        )
+        assert sup.inner.name == "serial"
+        assert sup._owns_inner is True  # replacement created here
+        sup.close()  # must not raise; shared inner untouched
 
 
 class TestTransientRetry:

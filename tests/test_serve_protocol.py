@@ -1,0 +1,192 @@
+"""Wire-protocol validation: malformed input becomes structured errors.
+
+The daemon's contract is that *nothing* a client sends — binary garbage,
+truncated JSON, unknown experiments, out-of-range parameters — ever
+surfaces as a traceback: every rejection is a ``ServeError`` with a
+stable ``code`` and an honest ``retryable`` flag.
+"""
+
+import json
+import math
+
+import pytest
+from repro.serve import protocol
+from repro.serve.protocol import (
+    MAX_REQUEST_BYTES,
+    ServeError,
+    encode,
+    parse_request,
+)
+from repro.workload.serve_adapters import (
+    available_experiments,
+    get_adapter,
+)
+
+
+def err(line):
+    with pytest.raises(ServeError) as info:
+        parse_request(line)
+    return info.value
+
+
+class TestParseRequest:
+    def test_minimal_submit_infers_op(self):
+        out = parse_request('{"experiment": "fig6"}')
+        assert out == {"op": "submit", "experiment": "fig6", "params": {}}
+
+    def test_full_submit_normalises_fields(self):
+        out = parse_request(json.dumps({
+            "op": "submit", "experiment": "faults", "id": "req-1",
+            "params": {"n": 20}, "deadline": 5, "urgent": True,
+            "stream": False,
+        }))
+        assert out["id"] == "req-1"
+        assert out["deadline"] == 5.0 and isinstance(out["deadline"], float)
+        assert out["urgent"] is True and out["stream"] is False
+
+    def test_bytes_input_is_accepted(self):
+        out = parse_request(b'{"op": "health"}')
+        assert out == {"op": "health"}
+
+    def test_oversized_bytes_rejected(self):
+        line = b'{"pad": "' + b"x" * MAX_REQUEST_BYTES + b'"}'
+        e = err(line)
+        assert e.code == protocol.BAD_REQUEST
+        assert not e.retryable
+
+    def test_non_utf8_rejected(self):
+        e = err(b'{"experiment": "\xff\xfe"}')
+        assert e.code == protocol.BAD_REQUEST
+        assert "UTF-8" in str(e)
+
+    def test_invalid_json_rejected(self):
+        e = err("{not json")
+        assert e.code == protocol.BAD_REQUEST
+        assert "JSON" in str(e)
+
+    @pytest.mark.parametrize("line", ['"a string"', "[1,2]", "42", "null"])
+    def test_non_object_rejected(self, line):
+        assert err(line).code == protocol.BAD_REQUEST
+
+    def test_unknown_op_rejected(self):
+        e = err('{"op": "reboot"}')
+        assert e.code == protocol.BAD_REQUEST
+        assert "reboot" in str(e)
+
+    def test_missing_op_without_experiment_rejected(self):
+        assert err('{"params": {}}').code == protocol.BAD_REQUEST
+
+    @pytest.mark.parametrize("op", ["status", "result", "cancel"])
+    def test_id_required_for_lookups(self, op):
+        e = err(json.dumps({"op": op}))
+        assert e.code == protocol.BAD_REQUEST
+        assert "'id'" in str(e)
+
+    @pytest.mark.parametrize("bad_id", [
+        "", ".hidden", "-dash", "a" * 65, "has space", "a/b", "a\nb",
+    ])
+    def test_malformed_ids_rejected(self, bad_id):
+        e = err(json.dumps({"op": "status", "id": bad_id}))
+        assert e.code == protocol.BAD_REQUEST
+
+    def test_experiment_must_be_string(self):
+        e = err('{"op": "submit", "experiment": 7}')
+        assert e.code == protocol.BAD_REQUEST
+
+    def test_params_must_be_object(self):
+        e = err('{"experiment": "fig6", "params": [1]}')
+        assert e.code == protocol.BAD_PARAM
+
+    @pytest.mark.parametrize("deadline", [0, -1, True, "5", math.inf])
+    def test_bad_deadline_rejected(self, deadline):
+        e = err(json.dumps({"experiment": "fig6",
+                            "deadline": deadline}
+                           ).replace("Infinity", "1e999"))
+        assert e.code == protocol.BAD_REQUEST
+
+    @pytest.mark.parametrize("key", ["urgent", "stream"])
+    def test_flags_must_be_boolean(self, key):
+        e = err(json.dumps({"experiment": "fig6", key: 1}))
+        assert e.code == protocol.BAD_REQUEST
+
+    def test_result_timeout_must_be_non_negative(self):
+        e = err('{"op": "result", "id": "a", "timeout": -1}')
+        assert e.code == protocol.BAD_REQUEST
+        out = parse_request('{"op": "result", "id": "a", "timeout": 0}')
+        assert out["timeout"] == 0.0
+
+
+class TestResponses:
+    def test_encode_is_one_sorted_json_line(self):
+        data = encode({"b": 1, "a": 2})
+        assert data == b'{"a":2,"b":1}\n'
+
+    def test_error_response_defaults_retryable_from_code(self):
+        assert protocol.error_response(
+            protocol.OVERLOADED, "m")["retryable"] is True
+        assert protocol.error_response(
+            protocol.BAD_REQUEST, "m")["retryable"] is False
+
+    def test_serve_error_to_response(self):
+        resp = ServeError(protocol.DEADLINE, "too slow").to_response("r9")
+        assert resp == {"type": "error", "code": "deadline",
+                        "message": "too slow", "retryable": True,
+                        "id": "r9"}
+
+    def test_explicit_retryable_overrides_default(self):
+        e = ServeError(protocol.BAD_REQUEST, "m", retryable=True)
+        assert e.retryable is True
+
+
+class TestAdapterValidation:
+    """Schema errors out of the experiment registry — structured, never
+    tracebacks (satellite: the serve schema-validation contract)."""
+
+    def test_unknown_experiment_is_structured(self):
+        with pytest.raises(ServeError) as info:
+            get_adapter("does-not-exist")
+        assert info.value.code == protocol.UNKNOWN_EXPERIMENT
+        assert not info.value.retryable
+
+    def test_chaos_adapter_hidden_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_CHAOS", raising=False)
+        assert "chaos" not in available_experiments()
+        with pytest.raises(ServeError) as info:
+            get_adapter("chaos")
+        assert info.value.code == protocol.UNKNOWN_EXPERIMENT
+        monkeypatch.setenv("REPRO_SERVE_CHAOS", "1")
+        assert "chaos" in available_experiments()
+        assert get_adapter("chaos").name == "chaos"
+
+    @pytest.mark.parametrize("experiment,params", [
+        ("faults", {"n": 100000}),            # out of range
+        ("faults", {"n": True}),              # bool is not an int
+        ("faults", {"trials": 1}),            # below the floor
+        ("faults", {"losses": [2.0]}),        # out-of-range element
+        ("faults", {"losses": "all"}),        # wrong type
+        ("faults", {"bogus": 1}),             # unknown key
+        ("fig6", {"ns": [0]}),                # out-of-range element
+        ("fig6", {"ns": list(range(2, 50))}),  # too many entries
+        ("fig6", {"degrees": [0.0]}),
+        ("channel", {"mac": "aloha"}),        # not a known choice
+        ("channel", {"seed": -1}),
+    ])
+    def test_out_of_range_params_are_bad_param(self, experiment, params):
+        adapter = get_adapter(experiment)
+        with pytest.raises(ServeError) as info:
+            adapter.validate(params)
+        assert info.value.code == protocol.BAD_PARAM
+        assert not info.value.retryable
+
+    def test_validation_normalises_and_fills_defaults(self):
+        adapter = get_adapter("faults")
+        out = adapter.validate({"losses": [0.2, 0.0, 0.2], "n": 15})
+        assert out["losses"] == [0.0, 0.2] or out["losses"] == (0.0, 0.2)
+        assert out["n"] == 15
+        assert out["trials"] > 0 and out["seed"] is not None
+
+    def test_normalised_params_are_json_stable(self):
+        adapter = get_adapter("fig6")
+        out = adapter.validate({"ns": [40, 20], "trials": 3})
+        assert json.loads(json.dumps(out)) == json.loads(json.dumps(out))
+        assert out == adapter.validate(out)  # idempotent
